@@ -1,0 +1,24 @@
+"""Benchmark-suite configuration.
+
+Each ``test_t*/test_f*`` module regenerates one table or figure of the
+paper (see DESIGN.md §3).  Experiment tables are produced once per run
+(``benchmark.pedantic(rounds=1)``) and printed, so
+``pytest benchmarks/ --benchmark-only -s`` reproduces the full evaluation;
+pure timing benchmarks (erasure throughput, crypto operations, end-to-end
+operation latency) use regular multi-round measurement.
+"""
+
+import pytest
+
+
+def run_once(benchmark, func):
+    """Benchmark an experiment once and return its result."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture form of :func:`run_once`."""
+    def runner(func):
+        return run_once(benchmark, func)
+    return runner

@@ -1,0 +1,31 @@
+"""F10 — operation latency in message rounds (critical-path depth)."""
+
+from repro.experiments import latency_rounds
+
+
+def test_f10_latency_rounds(once):
+    rows = once(lambda: latency_rounds.run(t=1))
+    print()
+    print(latency_rounds.render(rows))
+    by_protocol = {row.protocol: row for row in rows}
+    # Replication-style writes: two round trips.
+    assert by_protocol["martin"].write_rounds == 4
+    assert by_protocol["goodson"].write_rounds == 4
+    # Write-time verification adds the echo/ready rounds (+2, +3 when
+    # the completing ack rode a ready-amplification path)...
+    assert by_protocol["atomic"].write_rounds in (6, 7)
+    # ...and non-skipping timestamps add the share round (+1).
+    assert by_protocol["atomic_ns"].write_rounds in (7, 8)
+    assert by_protocol["atomic_ns"].write_rounds > \
+        by_protocol["martin"].write_rounds
+    # Reads are a single round trip everywhere (in the isolated case).
+    assert all(row.read_rounds == 2 for row in rows)
+
+
+def test_f10b_goodson_rollback_latency(once):
+    rows = once(lambda: latency_rounds.run_goodson_rollback_latency(
+        counts=(0, 1, 2, 4)))
+    print()
+    print(latency_rounds.render_rollback(rows))
+    for row in rows:
+        assert row.read_rounds == 2 + 2 * row.poisonous_writes

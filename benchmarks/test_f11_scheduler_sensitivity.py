@@ -1,0 +1,16 @@
+"""F11 — asynchrony sensitivity: identical guarantees under every
+adversarial schedule, and leaderless load balance."""
+
+from repro.experiments import scheduler_sensitivity
+
+
+def test_f11_scheduler_sensitivity(once):
+    rows = once(lambda: scheduler_sensitivity.run(writes=4, reads=4))
+    print()
+    print(scheduler_sensitivity.render(rows))
+    for row in rows:
+        # Liveness and atomicity are schedule-independent.
+        assert row.terminated, row.scheduler
+        assert row.atomic, row.scheduler
+        # Leaderless: no server carries disproportionate load.
+        assert row.load_imbalance < 1.5, row.scheduler

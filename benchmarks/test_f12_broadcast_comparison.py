@@ -1,0 +1,16 @@
+"""F12 — large-value broadcast: Bracha O(n^2|F|) vs AVID-RBC O(n|F|)."""
+
+from repro.experiments import broadcast_comparison
+
+
+def test_f12_broadcast_comparison(once):
+    rows = once(lambda: broadcast_comparison.run(ts=(1, 2, 3, 4)))
+    print()
+    print(broadcast_comparison.render(rows))
+    # AVID-RBC always wins on bulk data...
+    for row in rows:
+        assert row.avid_rbc_bytes < row.bracha_bytes
+    # ...and the advantage grows with n (quadratic vs linear in n).
+    ratios = [row.ratio for row in rows]
+    assert ratios == sorted(ratios)
+    assert ratios[-1] > 2 * ratios[0] / 1.5

@@ -1,0 +1,21 @@
+"""F13 — why the paper avoids consensus: AtomicNS vs an atomic-broadcast
+register."""
+
+from repro.experiments import consensus_comparison
+
+
+def test_f13_consensus_comparison(once):
+    rows = once(lambda: consensus_comparison.run(ts=(1, 2)))
+    print()
+    print(consensus_comparison.render(rows))
+    by_key = {(row.protocol, row.n): row for row in rows}
+    for n in (4, 7):
+        register = by_key[("atomic_ns", n)]
+        consensus = by_key[("abc", n)]
+        # Consensus costs several times more messages per write...
+        assert consensus.write_messages > 3 * register.write_messages
+        # ...an order of magnitude more per read (reads are ordered too)...
+        assert consensus.read_messages > 10 * register.read_messages
+        # ...and more round-trips (coin rounds on the critical path).
+        assert consensus.write_rounds > register.write_rounds
+        assert consensus.read_rounds > register.read_rounds

@@ -1,0 +1,30 @@
+"""F1 — storage blow-up vs system size and vs erasure threshold k."""
+
+from repro.experiments import storage_blowup
+
+
+def test_f1_storage_blowup_vs_n(once):
+    rows = once(lambda: storage_blowup.run(ts=(1, 2, 3, 4),
+                                           value_size=8192))
+    print()
+    print(storage_blowup.render(rows))
+    erasure = [row for row in rows if row.protocol == "atomic_ns"]
+    replicated = [row for row in rows if row.protocol == "martin"]
+    # Replication grows linearly with n; erasure coding stays bounded.
+    assert replicated[-1].measured_blowup > 3 * replicated[0].measured_blowup / 1.5
+    assert all(row.measured_blowup < 3.0 for row in erasure)
+    for erasure_row, replicated_row in zip(erasure, replicated):
+        assert erasure_row.measured_blowup < \
+            replicated_row.measured_blowup / 1.8
+
+
+def test_f1b_storage_blowup_vs_k(once):
+    rows = once(lambda: storage_blowup.run_k_sweep(n=10, t=3,
+                                                   value_size=8192))
+    print()
+    print(storage_blowup.render(
+        rows, title="F1b: storage blow-up vs erasure threshold k"))
+    blowups = [row.measured_blowup for row in rows]
+    # Monotone: larger k means smaller blocks; k = 1 is replication-level.
+    assert blowups == sorted(blowups, reverse=True)
+    assert blowups[0] > 9.0 and blowups[-1] < 2.5

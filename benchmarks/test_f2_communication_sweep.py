@@ -1,0 +1,23 @@
+"""F2 — communication per operation vs value size; read crossover."""
+
+from repro.experiments import communication_sweep
+
+
+def test_f2_communication_sweep(once):
+    points = once(lambda: communication_sweep.run(
+        value_sizes=(64, 512, 4096, 32768, 262144)))
+    print()
+    print(communication_sweep.render(points))
+    crossover = communication_sweep.read_crossover(points)
+    print(f"read crossover at |F| = {crossover} B")
+    # Erasure-coded reads beat replication from small-KiB values upward.
+    assert 0 < crossover <= 4096
+    by_key = {(p.label, p.value_size): p for p in points}
+    large = 262144
+    # At large |F|, erasure reads move ~n/k*|F| vs replication's ~n*|F|.
+    assert by_key[("atomic_ns/vector", large)].read_bytes * 3 < \
+        by_key[("martin", large)].read_bytes
+    # The Merkle variant cuts the fixed commitment overhead on writes.
+    small = 64
+    assert by_key[("atomic_ns/merkle", small)].write_bytes < \
+        by_key[("atomic_ns/vector", small)].write_bytes

@@ -1,0 +1,20 @@
+"""F3 — message complexity growth: O(n^2) writes vs O(n) for replication."""
+
+from repro.experiments import message_complexity
+
+
+def test_f3_message_complexity(once):
+    rows = once(lambda: message_complexity.run(ts=(1, 2, 3, 4)))
+    print()
+    print(message_complexity.render(rows))
+    series = message_complexity.coefficients(rows)
+    # Quadratic law: write_messages / n^2 is near-constant for Atomic(NS).
+    for protocol in ("atomic", "atomic_ns"):
+        coefficients = series[protocol]
+        assert max(coefficients) / min(coefficients) < 1.6, protocol
+    # Linear law: replication's write_messages / n^2 decays ~ 1/n.
+    martin = series["martin"]
+    assert martin[-1] < martin[0] / 2.5
+    # Reads are O(n) for everyone.
+    for row in rows:
+        assert row.read_per_n < 4.0

@@ -1,0 +1,28 @@
+"""F4 — timestamp growth under attack (non-skipping, Section 3.4)."""
+
+from repro.experiments import timestamp_attack
+
+
+def test_f4_timestamp_attack(once):
+    outcomes = once(lambda: timestamp_attack.run(t=1, honest_writes=5))
+    print()
+    print(timestamp_attack.render(outcomes))
+    by_key = {(o.scenario, o.protocol): o for o in outcomes}
+
+    # Corrupted servers inflate timestamps in Atomic and Martin...
+    assert not by_key[("server-inflation", "atomic")].non_skipping
+    assert not by_key[("server-inflation", "martin")].non_skipping
+    # ...but not in AtomicNS (threshold signatures) or Bazzi-Ding
+    # ((t+1)-st largest at n > 4t).
+    assert by_key[("server-inflation", "atomic_ns")].non_skipping
+    assert by_key[("server-inflation", "bazzi_ding")].non_skipping
+
+    # Corrupted clients skip in Atomic and Bazzi-Ding, never in AtomicNS.
+    assert not by_key[("client-skipping", "atomic")].non_skipping
+    assert not by_key[("client-skipping", "bazzi_ding")].non_skipping
+    assert by_key[("client-skipping", "atomic_ns")].non_skipping
+
+    # Strongest AtomicNS client attack (valid-pair replay) stays bounded.
+    replay = by_key[("client-replay", "atomic_ns")]
+    assert replay.non_skipping
+    assert replay.max_timestamp == replay.effected_writes

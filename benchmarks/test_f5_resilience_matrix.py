@@ -1,0 +1,22 @@
+"""F5 — the resilience matrix: optimal resilience n > 3t (Theorem 2)."""
+
+from repro.experiments import resilience_matrix
+
+
+def test_f5_resilience_matrix(once):
+    cells = once(lambda: resilience_matrix.run(ts=(1, 2)))
+    print()
+    print(resilience_matrix.render(cells))
+    for cell in cells:
+        if cell.verdict == resilience_matrix.NOT_APPLICABLE:
+            # The n > 4t protocols cannot deploy at n = 3t + 1.
+            assert cell.protocol in ("bazzi_ding", "goodson")
+            continue
+        if cell.faulty <= cell.t:
+            assert cell.verdict == resilience_matrix.OK, cell
+        else:
+            # Beyond the bound the all-crash adversary denies quorums.
+            assert cell.verdict == resilience_matrix.STALLED, cell
+        # Atomicity must never be violated, within or beyond the bound
+        # (beyond it we lose liveness first under this fault mix).
+        assert cell.verdict != resilience_matrix.VIOLATION

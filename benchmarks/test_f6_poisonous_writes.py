@@ -1,0 +1,29 @@
+"""F6 — read cost after inconsistent writes: rollback vs verification."""
+
+from repro.experiments import poisonous_writes
+
+
+def test_f6_poisonous_writes(once):
+    rows = once(lambda: poisonous_writes.run(counts=(0, 1, 2, 4, 8)))
+    print()
+    print(poisonous_writes.render(rows))
+    goodson = {row.poisonous_writes: row for row in rows
+               if row.protocol == "goodson"}
+    atomic_ns = {row.poisonous_writes: row for row in rows
+                 if row.protocol == "atomic_ns"}
+
+    # Goodson et al.: one rollback round per poisonous version, read cost
+    # grows linearly, and the poison is actually stored.
+    for count in (1, 2, 4, 8):
+        assert goodson[count].rollback_rounds == count
+        assert goodson[count].poison_took_effect
+    per_round = (goodson[8].read_messages - goodson[0].read_messages) / 8
+    assert per_round >= 5  # at least a message per server per rollback
+
+    # AtomicNS: write-time verification rejects the poison, so read cost
+    # stays flat and nothing inconsistent is ever stored.
+    for count in (0, 1, 2, 4, 8):
+        assert atomic_ns[count].rollback_rounds == 0
+        assert not atomic_ns[count].poison_took_effect
+        assert abs(atomic_ns[count].read_messages
+                   - atomic_ns[0].read_messages) <= 2

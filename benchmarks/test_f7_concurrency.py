@@ -1,0 +1,17 @@
+"""F7 — wait-freedom and atomicity under concurrent writers."""
+
+from repro.experiments import concurrency_sweep
+
+
+def test_f7_concurrency(once):
+    rows = once(lambda: concurrency_sweep.run(
+        writer_counts=(1, 2, 3, 4), readers=4, writes_per_writer=2))
+    print()
+    print(concurrency_sweep.render(rows))
+    for row in rows:
+        # Every operation terminates (wait-freedom) and histories
+        # linearize at every concurrency level.
+        assert row.all_terminated, row
+        assert row.atomic, row
+        # The listeners feed readers at least their initial reply.
+        assert row.value_messages_per_read >= 1.0

@@ -1,0 +1,77 @@
+"""F8 — threshold-signature microbenchmarks (real timing).
+
+These are genuine pytest-benchmark timings of the cryptographic
+operations AtomicNS adds per write: share signing, share verification,
+combination, and verification — for the Shoup RSA backend and the ideal
+backend.
+"""
+
+import random
+
+import pytest
+
+from repro.crypto.rsa import precomputed_modulus
+from repro.crypto.threshold import IdealThresholdScheme, ShoupThresholdScheme
+from repro.experiments import threshold_bench
+
+MESSAGE = ("reg", 42)
+
+
+def _shoup(n=4, t=1, bits=256):
+    return ShoupThresholdScheme(n, t, modulus=precomputed_modulus(bits),
+                                rng=random.Random(0))
+
+
+def test_f8_table(once):
+    costs = once(lambda: threshold_bench.run(
+        group_sizes=(4, 7, 10), prime_bits=(128, 256, 512), repeat=3))
+    print()
+    print(threshold_bench.render(costs))
+    by_backend = {}
+    for cost in costs:
+        by_backend.setdefault(cost.backend, []).append(cost)
+    # Shoup costs grow with the modulus; ideal is orders cheaper.
+    for n_index in range(3):
+        assert by_backend["shoup-1024b"][n_index].sign_ms > \
+            by_backend["shoup-256b"][n_index].sign_ms
+        assert by_backend["ideal"][n_index].sign_ms < \
+            by_backend["shoup-256b"][n_index].sign_ms
+
+
+@pytest.mark.parametrize("bits", [128, 256, 512])
+def test_bench_shoup_sign(benchmark, bits):
+    scheme = _shoup(bits=bits)
+    benchmark(lambda: scheme.sign(MESSAGE, 1))
+
+
+def test_bench_shoup_verify_share(benchmark):
+    scheme = _shoup()
+    share = scheme.sign(MESSAGE, 1)
+    benchmark(lambda: scheme.verify_share(MESSAGE, share))
+    assert scheme.verify_share(MESSAGE, share)
+
+
+def test_bench_shoup_combine(benchmark):
+    scheme = _shoup()
+    shares = [scheme.sign(MESSAGE, j) for j in (1, 2)]
+    signature = benchmark(lambda: scheme.combine(MESSAGE, shares))
+    assert scheme.verify(MESSAGE, signature)
+
+
+def test_bench_shoup_verify(benchmark):
+    scheme = _shoup()
+    signature = scheme.combine(
+        MESSAGE, [scheme.sign(MESSAGE, j) for j in (1, 2)])
+    assert benchmark(lambda: scheme.verify(MESSAGE, signature))
+
+
+def test_bench_ideal_sign(benchmark):
+    scheme = IdealThresholdScheme(4, 1)
+    benchmark(lambda: scheme.sign(MESSAGE, 1))
+
+
+def test_bench_ideal_combine(benchmark):
+    scheme = IdealThresholdScheme(4, 1)
+    shares = [scheme.sign(MESSAGE, j) for j in (1, 2)]
+    signature = benchmark(lambda: scheme.combine(MESSAGE, shares))
+    assert scheme.verify(MESSAGE, signature)

@@ -1,0 +1,18 @@
+"""F9 (ablation) — the listeners mechanism: wait-free reads vs retries."""
+
+from repro.experiments import listeners_ablation
+
+
+def test_f9_listeners_ablation(once):
+    rows = once(lambda: listeners_ablation.run(
+        write_counts=(0, 2, 4, 8), reads=4))
+    print()
+    print(listeners_ablation.render(rows))
+    by_key = {(row.variant, row.concurrent_writes): row for row in rows}
+    # With listeners a read issues exactly one query round, always.
+    for writes in (0, 2, 4, 8):
+        assert by_key[("atomic", writes)].rounds_per_read == 1.0
+    # Without listeners, contention induces retries.
+    assert by_key[("no_listeners", 8)].rounds_per_read > 1.0
+    # Safety is identical in both variants.
+    assert all(row.atomic for row in rows)

@@ -1,0 +1,90 @@
+"""Substrate microbenchmarks (real timing): erasure coding, hashing,
+dispersal, and end-to-end register operations in the simulator.
+
+These quantify the simulation's own costs — useful when sizing larger
+experiments — and the relative cost of the two commitment schemes.
+"""
+
+import os
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.config import SystemConfig
+from repro.crypto.commitment import MerkleCommitment, VectorCommitment
+from repro.erasure.coder import ErasureCoder
+from repro.net.schedulers import RandomScheduler
+
+VALUE_64K = os.urandom(64 * 1024)
+
+
+@pytest.mark.parametrize("k", [3, 5])
+def test_bench_erasure_encode_64k(benchmark, k):
+    coder = ErasureCoder(7, k)
+    blocks = benchmark(lambda: coder.encode(VALUE_64K))
+    assert len(blocks) == 7
+
+
+def test_bench_erasure_decode_parity_path(benchmark):
+    coder = ErasureCoder(7, 5)
+    blocks = coder.encode(VALUE_64K)
+    pairs = [(j, blocks[j - 1]) for j in (3, 4, 5, 6, 7)]  # needs inversion
+    value = benchmark(lambda: coder.decode(pairs))
+    assert value == VALUE_64K
+
+
+def test_bench_erasure_decode_systematic_path(benchmark):
+    coder = ErasureCoder(7, 5)
+    blocks = coder.encode(VALUE_64K)
+    pairs = [(j, blocks[j - 1]) for j in (1, 2, 3, 4, 5)]  # fast path
+    value = benchmark(lambda: coder.decode(pairs))
+    assert value == VALUE_64K
+
+
+def test_bench_erasure_gf65536_encode(benchmark):
+    """Large-cluster field: (40, 28) over GF(2^16)."""
+    coder = ErasureCoder(40, 28, field="gf65536")
+    blocks = benchmark(lambda: coder.encode(VALUE_64K))
+    assert len(blocks) == 40
+
+
+@pytest.mark.parametrize("scheme_cls", [VectorCommitment, MerkleCommitment],
+                         ids=["vector", "merkle"])
+def test_bench_commitment(benchmark, scheme_cls):
+    coder = ErasureCoder(7, 5)
+    blocks = coder.encode(VALUE_64K)
+    scheme = scheme_cls(7)
+    commitment, witnesses = benchmark(lambda: scheme.commit(blocks))
+    assert scheme.verify(commitment, 1, blocks[0], witnesses[0])
+
+
+@pytest.mark.parametrize("protocol", ["atomic", "atomic_ns", "martin"])
+def test_bench_end_to_end_write(benchmark, protocol):
+    """Simulated wall-clock cost of one isolated write (n=4, 4 KiB)."""
+    value = os.urandom(4096)
+    counter = [0]
+
+    def write_once():
+        cluster = build_cluster(SystemConfig(n=4, t=1), protocol=protocol,
+                                num_clients=1,
+                                scheduler=RandomScheduler(counter[0]))
+        counter[0] += 1
+        return cluster.write(1, "reg", "w", value)
+
+    handle = benchmark(write_once)
+    assert handle.done
+
+
+def test_bench_end_to_end_read(benchmark):
+    value = os.urandom(4096)
+    cluster = build_cluster(SystemConfig(n=4, t=1), protocol="atomic_ns",
+                            num_clients=1, scheduler=RandomScheduler(0))
+    cluster.write(1, "reg", "w", value)
+    counter = [0]
+
+    def read_once():
+        counter[0] += 1
+        return cluster.read(1, "reg", f"r{counter[0]}")
+
+    handle = benchmark(read_once)
+    assert handle.result == value

@@ -1,0 +1,16 @@
+"""T2 — Section 3.5 complexity analysis: measured vs analytic model."""
+
+from repro.experiments import complexity_table
+
+
+def test_t2_complexity_table(once):
+    rows = once(lambda: complexity_table.run(
+        ts=(1, 2, 3), value_sizes=(1024, 16384, 131072)))
+    print()
+    print(complexity_table.render(rows))
+    for row in rows:
+        # The model captures the growth in both n and |F|: measured and
+        # predicted stay within a small constant of each other.
+        assert 0.5 < row.write_bytes_ratio < 2.0, row
+        assert 0.5 < row.read_bytes_ratio < 2.0, row
+        assert 0.8 < row.write_messages_ratio < 1.25, row

@@ -1,0 +1,56 @@
+"""A chunked BFT object store — the paper's NAS/object-storage motivation.
+
+Stores multi-chunk blobs across an array of atomic registers (one
+register per chunk plus a manifest register), on a cluster with a
+Byzantine server, and shows versioned overwrite, stat, delete, and the
+per-server storage saving from erasure coding.
+
+Run:  python examples/object_store.py
+"""
+
+import os
+
+from repro import RandomScheduler, SystemConfig, build_cluster
+from repro.faults.byzantine_servers import EquivocatingReaderServer
+from repro.store import BlobNotFound, BlobStore
+
+
+def main() -> None:
+    config = SystemConfig(n=4, t=1)
+    cluster = build_cluster(
+        config, protocol="atomic_ns", num_clients=2,
+        scheduler=RandomScheduler(11),
+        server_overrides={
+            3: lambda pid, cfg: EquivocatingReaderServer(pid, cfg)})
+    alice = BlobStore(cluster, 1, chunk_size=8 * 1024)
+    bob = BlobStore(cluster, 2, chunk_size=8 * 1024)
+
+    blob = os.urandom(40_000)
+    stat = alice.put("datasets/train.bin", blob)
+    print(f"alice put {stat.name}: {stat.size} B in "
+          f"{stat.chunk_count} chunks (version {stat.version})")
+
+    fetched = bob.get("datasets/train.bin")
+    assert fetched == blob
+    print(f"bob get: {len(fetched)} B, digests verified "
+          f"(server P3 is Byzantine and was ignored)")
+
+    # The efficiency story, measured live.
+    chunk_tag = "blob/datasets/train.bin/chunk0"
+    per_server = cluster.server(1).register_storage_bytes(chunk_tag)
+    print(f"per-server storage for one 8 KiB chunk register: "
+          f"{per_server} B (~1/{config.k} of the chunk + commitment)")
+
+    bob.put("datasets/train.bin", b"v2 contents")
+    assert alice.get("datasets/train.bin") == b"v2 contents"
+    print("bob overwrote; alice sees the new version (linearizable)")
+
+    alice.delete("datasets/train.bin")
+    try:
+        bob.get("datasets/train.bin")
+    except BlobNotFound:
+        print("deleted: tombstone manifest visible to everyone")
+
+
+if __name__ == "__main__":
+    main()

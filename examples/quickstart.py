@@ -1,0 +1,45 @@
+"""Quickstart: an erasure-coded Byzantine atomic register in 30 lines.
+
+Builds the paper's full AtomicNS deployment — n = 4 servers tolerating
+t = 1 Byzantine failure, (4, 3) erasure coding, threshold-signed
+non-skipping timestamps — writes, reads, and prints what it cost.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.cluster import build_cluster
+from repro.config import SystemConfig
+from repro.net.schedulers import RandomScheduler
+
+
+def main() -> None:
+    # n > 3t: optimal resilience.  k defaults to n - t = 3, so each
+    # server stores about a third of every value.
+    config = SystemConfig(n=4, t=1)
+    cluster = build_cluster(config, protocol="atomic_ns", num_clients=2,
+                            scheduler=RandomScheduler(seed=42))
+
+    # Client C1 writes; the value is dispersed, the timestamp broadcast
+    # and threshold-signed, and the write completes after n - t acks.
+    value = b"The quick brown fox jumps over the lazy dog." * 500
+    write = cluster.write(1, "my-register", "write-1", value)
+    print(f"write done: oid={write.oid}")
+
+    # Client C2 reads it back from any n - t servers.
+    read = cluster.read(2, "my-register", "read-1")
+    assert read.result == value
+    print(f"read done: {len(read.result)} bytes, "
+          f"timestamp {read.timestamp}")
+
+    # What did it cost?  (The paper's complexity measures, live.)
+    metrics = cluster.simulator.metrics
+    print(f"total messages: {metrics.total_messages}, "
+          f"total bytes: {metrics.total_bytes}")
+    per_server = cluster.server(1).register_storage_bytes("my-register")
+    blowup = per_server * config.n / len(value)
+    print(f"per-server storage: {per_server} B "
+          f"(blow-up {blowup:.2f}x vs {config.n}x for replication)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Non-skipping timestamps demo (Section 3.4 of the paper).
+
+Runs the same timestamp-inflation attack against Protocol Atomic and
+Protocol AtomicNS and prints the resulting timestamp trajectories: with
+client-generated timestamps one corrupted server poisons every later
+write; with threshold-signed timestamps the attack is inert.
+
+Run:  python examples/timestamp_attack_demo.py
+"""
+
+from repro.cluster import build_cluster
+from repro.config import SystemConfig
+from repro.faults.byzantine_servers import InflatorNSServer, InflatorServer
+from repro.net.schedulers import RandomScheduler
+
+TAG = "reg"
+WRITES = 5
+
+
+def attack(protocol: str, inflator) -> list:
+    cluster = build_cluster(
+        SystemConfig(n=4, t=1), protocol=protocol, num_clients=1,
+        scheduler=RandomScheduler(0),
+        server_overrides={1: lambda pid, cfg: inflator(pid, cfg)})
+    trajectory = []
+    for index in range(WRITES):
+        cluster.write(1, TAG, f"w{index}", b"v%d" % index)
+        cluster.run()
+        trajectory.append(
+            cluster.server(2).register_state(TAG).timestamp.ts)
+    return trajectory
+
+
+def main() -> None:
+    atomic = attack("atomic", InflatorServer)
+    atomic_ns = attack("atomic_ns", InflatorNSServer)
+    print(f"{WRITES} honest writes; server P1 reports timestamps "
+          f"inflated by 10^12\n")
+    print("Protocol Atomic   (client-max timestamps):")
+    print("   stored ts after each write:", atomic)
+    print("   -> a single lying server made timestamps skip by 10^12\n")
+    print("Protocol AtomicNS (threshold-signed timestamps):")
+    print("   stored ts after each write:", atomic_ns)
+    print("   -> inflated replies carry no valid signature and are "
+          "discarded;")
+    print("      every timestamp equals the number of writes "
+          "(non-skipping)")
+    assert atomic_ns == list(range(1, WRITES + 1))
+    assert atomic[-1] > 10 ** 12
+
+
+if __name__ == "__main__":
+    main()

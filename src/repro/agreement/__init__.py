@@ -1,0 +1,20 @@
+"""Randomized asynchronous agreement stack (the §3.4 alternative).
+
+Threshold common coin → binary Byzantine agreement → asynchronous common
+subset → atomic broadcast: the machinery needed to build registers by
+serializing operations, implemented to make the paper's design choice
+(registers *without* consensus) measurable — see experiment F13 and
+``repro.baselines.abc_register``.
+"""
+
+from repro.agreement.acs import CommonSubset
+from repro.agreement.atomic_broadcast import AtomicBroadcast
+from repro.agreement.binary import BinaryAgreement
+from repro.agreement.coin import CommonCoin
+
+__all__ = [
+    "CommonSubset",
+    "AtomicBroadcast",
+    "BinaryAgreement",
+    "CommonCoin",
+]

@@ -1,0 +1,148 @@
+"""Asynchronous common subset (ACS) — agreeing on a set of proposals.
+
+The Ben-Or–Kelmer–Rabin construction (as in modern BFT systems): every
+server reliably broadcasts its proposal; one binary-agreement instance
+per server decides whether that proposal makes the cut.  Once ``n − t``
+instances have decided 1, the remaining instances are fed 0; the output
+is the set of proposals whose instance decided 1 — at least ``n − 2t``
+of them from honest servers, identical at every honest server.
+
+This is the consensus core of the atomic-broadcast comparator: the paper
+(§3.4) notes register protocols *could* be built by serializing
+operations with atomic broadcast; building that stack makes the cost
+difference measurable (experiment F13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Set
+
+from repro.agreement.binary import BinaryAgreement
+from repro.broadcast.reliable import ReliableBroadcastServer, r_broadcast
+from repro.common.ids import PartyId
+from repro.config import SystemConfig
+from repro.net.process import Process
+
+#: done(session, {server_index: proposal})
+OutputCallback = Callable[[Any, Dict[int, Any]], None]
+
+
+@dataclass
+class _Session:
+    proposals: Dict[int, Any] = field(default_factory=dict)
+    inputs_given: Set[int] = field(default_factory=set)
+    decisions: Dict[int, int] = field(default_factory=dict)
+    zero_filled: bool = False
+    delivered: bool = False
+
+
+class CommonSubset:
+    """Server-side ACS component (multi-session).
+
+    Call :meth:`propose` with a session identifier (any serializable
+    value) and this server's proposal; ``done(session, accepted)`` fires
+    once with the agreed ``{server_index: proposal}`` map.
+    """
+
+    def __init__(self, process: Process, config: SystemConfig,
+                 done: OutputCallback):
+        self._process = process
+        self._config = config
+        self._done = done
+        self._sessions: Dict[bytes, _Session] = {}
+        self._session_ids: Dict[bytes, Any] = {}
+        self.rbc = ReliableBroadcastServer(
+            process, config, self._on_proposal,
+            allow_server_origins=True)
+        self.aba = BinaryAgreement(process, config, self._on_decision)
+        #: optional hook fired when a session is first seen (own proposal
+        #: or a remote one) — lets layers above join rounds they did not
+        #: start (e.g. atomic broadcast proposing an empty buffer).
+        self.on_first_contact: Optional[Callable[[Any], None]] = None
+
+    # -- public API ---------------------------------------------------------
+
+    def propose(self, session: Any, proposal: Any) -> None:
+        """Broadcast this server's proposal for ``session``."""
+        r_broadcast(self._process, self._rbc_tag(session), proposal)
+
+    # -- plumbing --------------------------------------------------------------
+
+    @staticmethod
+    def _rbc_tag(session: Any) -> str:
+        from repro.common.serialization import encode
+        return "acs/" + encode(session).hex()
+
+    def _session(self, session: Any) -> _Session:
+        from repro.common.serialization import encode
+        key = encode(session)
+        if key not in self._sessions:
+            self._sessions[key] = _Session()
+            self._session_ids[key] = session
+            if self.on_first_contact is not None:
+                self.on_first_contact(session)
+        return self._sessions[key]
+
+    def _aba_id(self, session: Any, index: int):
+        return ("acs", session, index)
+
+    # -- event handlers -----------------------------------------------------------
+
+    def _on_proposal(self, tag: str, origin: PartyId, value: Any) -> None:
+        if not tag.startswith("acs/") or not origin.is_server:
+            return
+        from repro.common.serialization import encode
+        key = bytes.fromhex(tag[len("acs/"):])
+        session = self._session_ids.get(key)
+        if session is None:
+            # First contact with this session through someone's proposal.
+            try:
+                from repro.common.serialization import decode
+                session = decode(key)
+            except Exception:
+                return
+        state = self._session(session)
+        state.proposals[origin.index] = value
+        # A delivered proposal is a vote for inclusion.
+        if origin.index not in state.inputs_given:
+            state.inputs_given.add(origin.index)
+            self.aba.provide_input(self._aba_id(session, origin.index), 1)
+        self._progress(session, state)
+
+    def _on_decision(self, instance_id: Any, value: int) -> None:
+        if not (isinstance(instance_id, tuple) and len(instance_id) == 3
+                and instance_id[0] == "acs"):
+            return
+        _, session, index = instance_id
+        state = self._session(session)
+        state.decisions[index] = value
+        self._progress(session, state)
+
+    # -- state machine -----------------------------------------------------------
+
+    def _progress(self, session: Any, state: _Session) -> None:
+        config = self._config
+        ones = sum(1 for value in state.decisions.values() if value == 1)
+        if ones >= config.quorum and not state.zero_filled:
+            # Enough proposals are in: refuse the stragglers so every
+            # instance terminates.
+            state.zero_filled = True
+            for index in range(1, config.n + 1):
+                if index not in state.inputs_given:
+                    state.inputs_given.add(index)
+                    self.aba.provide_input(self._aba_id(session, index), 0)
+        if state.delivered or len(state.decisions) < config.n:
+            return
+        accepted_indices = sorted(
+            index for index, value in state.decisions.items()
+            if value == 1)
+        # Output only once every accepted proposal has been delivered by
+        # its broadcast (RBC agreement guarantees it eventually is).
+        if any(index not in state.proposals
+               for index in accepted_indices):
+            return
+        state.delivered = True
+        accepted = {index: state.proposals[index]
+                    for index in accepted_indices}
+        self._done(session, accepted)

@@ -1,0 +1,126 @@
+"""Weaker register consistency conditions: safety and regularity.
+
+Lamport's hierarchy (paper, Section 1): *safe* < *regular* < *atomic*.
+The library's protocols target atomicity (checked by
+:mod:`repro.analysis.linearizability`); these weaker checkers serve two
+purposes: validating ablation variants that trade consistency or
+liveness for cost, and diagnosing *how badly* a broken history fails
+(a history can violate atomicity while still being regular).
+
+Definitions on a history with unique write values:
+
+* **safe** — a read concurrent with no write returns the value of the
+  latest preceding write; a concurrent read may return *any* written (or
+  initial) value;
+* **regular** — every read returns either the value of some latest
+  preceding write or of some write concurrent with the read.
+
+"Latest preceding write" is any write ``w`` that completed before the
+read began such that no other write falls entirely between ``w`` and the
+read.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+from repro.analysis.linearizability import (
+    INITIAL_WRITE_OID,
+    KIND_READ,
+    KIND_WRITE,
+    HistoryOp,
+)
+from repro.common.errors import AtomicityViolation
+
+
+class ConsistencyViolation(AtomicityViolation):
+    """A history fails the requested (safe/regular) condition."""
+
+
+def _split(operations: Sequence[HistoryOp], initial_value: bytes):
+    writes: Dict[bytes, HistoryOp] = {}
+    reads: List[HistoryOp] = []
+    initial = HistoryOp(kind=KIND_WRITE, oid=INITIAL_WRITE_OID,
+                        value=initial_value)
+    for operation in operations:
+        if operation.kind == KIND_WRITE:
+            if operation.value in writes or operation.value == initial_value:
+                raise ValueError("consistency checking requires unique "
+                                 "write values")
+            writes[operation.value] = operation
+        elif operation.kind == KIND_READ:
+            reads.append(operation)
+        else:
+            raise ValueError(f"unknown operation kind {operation.kind!r}")
+    return initial, writes, reads
+
+
+def _concurrent(a: HistoryOp, b: HistoryOp) -> bool:
+    return not a.precedes(b) and not b.precedes(a)
+
+
+def _allowed_latest(initial: HistoryOp, writes, read: HistoryOp) -> Set[str]:
+    """Writes that qualify as a 'latest preceding write' of ``read``."""
+    preceding = [write for write in writes.values()
+                 if write.precedes(read)]
+    allowed = set()
+    for write in preceding:
+        superseded = any(other is not write and write.precedes(other)
+                         and other.precedes(read) for other in preceding)
+        if not superseded:
+            allowed.add(write.oid)
+    if not any(write.precedes(read) for write in writes.values()):
+        allowed.add(initial.oid)
+    return allowed
+
+
+def check_regularity(operations: Sequence[HistoryOp],
+                     initial_value: bytes = b"") -> None:
+    """Assert the history is regular; raises
+    :class:`ConsistencyViolation` otherwise."""
+    initial, writes, reads = _split(operations, initial_value)
+    for read in reads:
+        if read.value == initial_value:
+            owner = initial
+        elif read.value in writes:
+            owner = writes[read.value]
+        else:
+            raise ConsistencyViolation(
+                f"read {read.oid} returned a never-written value")
+        if owner is initial:
+            if any(write.precedes(read) for write in writes.values()):
+                raise ConsistencyViolation(
+                    f"read {read.oid} returned the initial value after "
+                    f"a write completed")
+            continue
+        allowed = _allowed_latest(initial, writes, read)
+        if owner.oid in allowed or _concurrent(owner, read):
+            continue
+        raise ConsistencyViolation(
+            f"read {read.oid} returned {owner.oid}, which is neither a "
+            f"latest preceding nor a concurrent write")
+
+
+def check_safety(operations: Sequence[HistoryOp],
+                 initial_value: bytes = b"") -> None:
+    """Assert the history is safe; raises
+    :class:`ConsistencyViolation` otherwise.
+
+    Reads concurrent with any write are unconstrained beyond returning
+    *some* written (or initial) value.
+    """
+    initial, writes, reads = _split(operations, initial_value)
+    for read in reads:
+        known = read.value == initial_value or read.value in writes
+        if not known:
+            raise ConsistencyViolation(
+                f"read {read.oid} returned a never-written value")
+        if any(_concurrent(write, read) for write in writes.values()):
+            continue  # concurrent with a write: anything written is fine
+        allowed = _allowed_latest(initial, writes, read)
+        owner_oid = initial.oid if read.value == initial_value \
+            else writes[read.value].oid
+        if owner_oid not in allowed:
+            raise ConsistencyViolation(
+                f"uncontended read {read.oid} returned {owner_oid}, not "
+                f"a latest preceding write")

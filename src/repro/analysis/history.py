@@ -1,0 +1,107 @@
+"""Recording histories from cluster runs for atomicity checking.
+
+Collects the operations of Definition 1 from a simulation: terminating
+reads and writes at honest clients (from their operation handles) plus
+writes that *took effect* on behalf of Byzantine clients (witnessed by a
+``write-accepted`` output action at at least one honest server).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.cluster import Cluster
+from repro.analysis.linearizability import (
+    KIND_READ,
+    KIND_WRITE,
+    HistoryOp,
+    check_atomicity,
+)
+from repro.common.errors import LivenessError
+from repro.common.ids import PartyId
+from repro.core.register import OperationHandle
+
+
+class HistoryRecorder:
+    """Builds a checkable history for one register of one cluster run.
+
+    ``byzantine_writes`` maps operation identifiers of writes injected by
+    Byzantine clients to the value they dispersed; such a write joins the
+    history (with no real-time interval) iff some honest server emitted
+    ``write-accepted`` for it — the paper's *takes effect* condition.
+    """
+
+    def __init__(self, cluster: Cluster, tag: str,
+                 honest_servers: Optional[Iterable[PartyId]] = None):
+        self._cluster = cluster
+        self._tag = tag
+        self._byzantine_writes: Dict[str, bytes] = {}
+        if honest_servers is None:
+            honest_servers = [server.pid for server in cluster.servers]
+        self._honest_servers: Set[PartyId] = set(honest_servers)
+
+    def record_byzantine_write(self, oid: str, value: bytes) -> None:
+        """Declare a write attempt by a Byzantine client (its value must
+        be known to the harness so reads of it can be validated)."""
+        self._byzantine_writes[oid] = value
+
+    # -- history construction ------------------------------------------------
+
+    def _effected_oids(self) -> Set[str]:
+        effected: Set[str] = set()
+        for event in self._cluster.simulator.event_log:
+            if (event.kind == "out" and event.action == "write-accepted"
+                    and event.tag == self._tag
+                    and event.party in self._honest_servers
+                    and event.payload):
+                effected.add(event.payload[0])
+        return effected
+
+    def operations(self, require_done: bool = True) -> List[HistoryOp]:
+        """The history: honest handles plus effected Byzantine writes.
+
+        With ``require_done`` (the default), an unterminated operation at
+        an honest client raises :class:`LivenessError` — wait-freedom says
+        every invoked operation must terminate once the run is complete.
+        """
+        operations: List[HistoryOp] = []
+        for client in self._cluster.clients:
+            handles = getattr(client, "operations", None)
+            if handles is None:
+                continue  # Byzantine client: no recorded honest handles
+            for handle in handles:
+                if handle.tag != self._tag:
+                    continue
+                if not handle.done:
+                    if require_done:
+                        raise LivenessError(
+                            f"operation {handle.oid} at {handle.client} "
+                            f"did not terminate")
+                    continue
+                operations.append(self._from_handle(handle))
+        effected = self._effected_oids()
+        for oid, value in self._byzantine_writes.items():
+            if oid in effected:
+                operations.append(HistoryOp(
+                    kind=KIND_WRITE, oid=oid, value=value))
+        return operations
+
+    @staticmethod
+    def _from_handle(handle: OperationHandle) -> HistoryOp:
+        if handle.kind == "write":
+            return HistoryOp(kind=KIND_WRITE, oid=handle.oid,
+                             value=handle.value,
+                             invoke=handle.invoke_time,
+                             complete=handle.complete_time)
+        return HistoryOp(kind=KIND_READ, oid=handle.oid,
+                         value=handle.result, invoke=handle.invoke_time,
+                         complete=handle.complete_time)
+
+    # -- one-call check -----------------------------------------------------------
+
+    def check(self, initial_value: bytes = b"",
+              require_done: bool = True) -> List[str]:
+        """Assert atomicity of the recorded history; returns the witness
+        linearization (see :func:`check_atomicity`)."""
+        return check_atomicity(self.operations(require_done=require_done),
+                               initial_value=initial_value)

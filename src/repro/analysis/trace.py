@@ -1,0 +1,108 @@
+"""Execution-trace tooling: summaries and export of simulation runs.
+
+The simulator's event log is the paper's global clock made concrete.
+These helpers turn a run into something a human can audit: a timeline of
+input/output actions, per-message-type traffic summaries, and a JSON-lines
+export for external analysis.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List, Optional, Sequence, TextIO
+
+from repro.net.message import EVENT_INPUT, EVENT_OUTPUT, LocalEvent
+from repro.net.metrics import Metrics
+
+
+def _payload_repr(payload) -> str:
+    parts = []
+    for item in payload:
+        if isinstance(item, bytes):
+            parts.append(f"<{len(item)}B>")
+        else:
+            text = str(item)
+            parts.append(text if len(text) <= 24 else text[:21] + "...")
+    return ", ".join(parts)
+
+
+def format_timeline(events: Sequence[LocalEvent],
+                    tag: Optional[str] = None,
+                    kinds: Sequence[str] = (EVENT_INPUT, EVENT_OUTPUT),
+                    limit: Optional[int] = None) -> str:
+    """Render a run's local events as a readable timeline.
+
+    ``tag`` filters to one register/protocol instance; ``limit`` truncates
+    to the first N matching events.
+    """
+    lines: List[str] = []
+    for event in events:
+        if event.kind not in kinds:
+            continue
+        if tag is not None and event.tag != tag:
+            continue
+        lines.append(f"t={event.time:<6} {str(event.party):<5} "
+                     f"{event.kind:<3} ({event.tag}, {event.action}"
+                     f"{', ' if event.payload else ''}"
+                     f"{_payload_repr(event.payload)})")
+        if limit is not None and len(lines) >= limit:
+            lines.append(f"... (showing first {limit} events)")
+            break
+    return "\n".join(lines) if lines else "(no matching events)"
+
+
+def operation_summary(events: Sequence[LocalEvent]) -> str:
+    """One line per register operation: invocation, completion, duration."""
+    invocations = {}
+    lines: List[str] = []
+    for event in events:
+        key = (event.tag, event.payload[0] if event.payload else None)
+        if event.kind == EVENT_INPUT and event.action in ("write", "read"):
+            invocations[key] = event
+        elif event.kind == EVENT_OUTPUT and event.action in ("ack", "read"):
+            start = invocations.get(key)
+            if start is None:
+                continue
+            duration = event.time - start.time
+            lines.append(
+                f"{start.action:<5} {key[1]:<12} tag={event.tag:<12} "
+                f"client={start.party} t={start.time}->{event.time} "
+                f"({duration} events)")
+    return "\n".join(lines) if lines else "(no operations)"
+
+
+def traffic_summary(metrics: Metrics, tag_prefix: str) -> str:
+    """Per-message-type counts under a tag prefix, largest first."""
+    by_mtype = metrics.messages_by_mtype(tag_prefix)
+    total_messages = metrics.message_complexity(tag_prefix)
+    total_bytes = metrics.communication_complexity(tag_prefix)
+    lines = [f"traffic under {tag_prefix!r}: {total_messages} messages, "
+             f"{total_bytes} bytes"]
+    for mtype, count in sorted(by_mtype.items(),
+                               key=lambda item: -item[1]):
+        lines.append(f"  {mtype:<16} {count}")
+    return "\n".join(lines)
+
+
+def export_events_jsonl(events: Iterable[LocalEvent],
+                        stream: TextIO) -> int:
+    """Write events as JSON lines; returns the number written.
+
+    Byte payload fields become ``{"bytes": <length>}`` placeholders so the
+    export stays small and text-safe.
+    """
+    count = 0
+    for event in events:
+        payload = [{"bytes": len(item)} if isinstance(item, bytes)
+                   else str(item) for item in event.payload]
+        record = {
+            "time": event.time,
+            "party": str(event.party),
+            "kind": event.kind,
+            "tag": event.tag,
+            "action": event.action,
+            "payload": payload,
+        }
+        stream.write(json.dumps(record) + "\n")
+        count += 1
+    return count

@@ -1,0 +1,41 @@
+"""Asynchronous verifiable information dispersal (AVID).
+
+``disperse``/:class:`AvidServer` implement Protocol Disperse (the
+substrate the register protocols use); ``retrieve`` and the storage-node
+classes package AVID as a standalone write-once verifiable storage
+service, completing the Cachin-Tessaro AVID scheme the paper builds on.
+"""
+
+from repro.avid.disperse import (
+    MSG_ECHO,
+    MSG_READY,
+    MSG_SEND,
+    AvidServer,
+    disperse,
+)
+from repro.avid.node import (
+    AvidStorageClient,
+    AvidStorageNode,
+    RetrievalHandle,
+)
+from repro.avid.retrieve import (
+    MSG_BLOCK,
+    MSG_RETRIEVE,
+    AvidRetrieverClient,
+    AvidStorageServer,
+)
+
+__all__ = [
+    "MSG_ECHO",
+    "MSG_READY",
+    "MSG_SEND",
+    "AvidServer",
+    "disperse",
+    "AvidStorageClient",
+    "AvidStorageNode",
+    "RetrievalHandle",
+    "MSG_BLOCK",
+    "MSG_RETRIEVE",
+    "AvidRetrieverClient",
+    "AvidStorageServer",
+]

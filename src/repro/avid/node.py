@@ -1,0 +1,85 @@
+"""Standalone AVID storage service: Disperse + Retrieve as one system.
+
+The paper uses Protocol Disperse inside the register protocols, but the
+AVID scheme it comes from is a storage system in its own right (static,
+write-once-per-tag, verifiable).  This module packages it that way:
+:class:`AvidStorageNode` servers store blocks of completed dispersals and
+answer retrievals; :class:`AvidStorageClient` exposes ``disperse`` /
+``retrieve`` with operation handles.
+
+Semantics per tag: at most one value can ever complete dispersal (the
+echo-binding of Disperse), every honest node eventually stores its block
+of it, and every retrieval returns exactly that value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.avid.disperse import AvidServer, disperse
+from repro.avid.retrieve import AvidRetrieverClient, AvidStorageServer
+from repro.common.ids import PartyId
+from repro.config import SystemConfig
+from repro.net.process import Process
+
+
+class AvidStorageNode(Process):
+    """A storage server: completes dispersals, stores, serves blocks."""
+
+    def __init__(self, pid: PartyId, config: SystemConfig,
+                 initial_value: bytes = b""):
+        super().__init__(pid)
+        self.config = config
+        self.storage = AvidStorageServer(self, config)
+        self.avid = AvidServer(self, config, self._on_complete)
+
+    def _on_complete(self, tag: str, commitment: Any, client: PartyId,
+                     block: bytes, witness: Any) -> None:
+        self.storage.store(tag, commitment, block, witness)
+        self.output(tag, "stored", client)
+
+    def stored_tags(self):
+        """Tags whose dispersal this node has completed."""
+        return self.storage.stored_tags()
+
+    def storage_bytes(self) -> int:
+        return self.storage.storage_bytes() + self.avid.storage_bytes()
+
+
+@dataclass
+class RetrievalHandle:
+    """Completion state of one retrieval."""
+
+    tag: str
+    done: bool = False
+    value: Optional[bytes] = None
+
+
+class AvidStorageClient(Process):
+    """A storage client: ``disperse(tag, value)`` and ``retrieve(tag)``."""
+
+    def __init__(self, pid: PartyId, config: SystemConfig):
+        super().__init__(pid)
+        self.config = config
+        self._retriever = AvidRetrieverClient(self, config, self._done)
+        self._handles: Dict[str, RetrievalHandle] = {}
+
+    def disperse(self, tag: str, value: bytes) -> None:
+        """Store ``value`` under ``tag`` (write-once)."""
+        disperse(self, tag, value, self.config)
+
+    def retrieve(self, tag: str) -> RetrievalHandle:
+        """Fetch the value stored under ``tag``; returns a handle whose
+        ``value`` is set (possibly to ``None``) when ``done``."""
+        handle = RetrievalHandle(tag=tag)
+        self._handles[tag] = handle
+        self._retriever.retrieve(tag)
+        return handle
+
+    def _done(self, tag: str, value: Optional[bytes]) -> None:
+        handle = self._handles.get(tag)
+        if handle is not None and not handle.done:
+            handle.done = True
+            handle.value = value
+            self.output(tag, "retrieved", value is not None)

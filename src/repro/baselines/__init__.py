@@ -1,0 +1,32 @@
+"""Baseline register protocols the paper compares against.
+
+* :mod:`repro.baselines.martin` — Martin et al. (SBQ-L): replication,
+  optimal resilience, skipping timestamps, no Byzantine-client tolerance.
+* :mod:`repro.baselines.bazzi_ding` — Bazzi-Ding: replication with
+  non-skipping timestamps at the price of ``n > 4t``.
+* :mod:`repro.baselines.goodson` — Goodson et al.: erasure coding with
+  read-time validation/rollback at ``n > 4t``.
+* :mod:`repro.baselines.phalanx` — Phalanx-style *safe* (not atomic)
+  replicated register at ``n > 4t``.
+"""
+
+from repro.baselines.bazzi_ding import BazziDingClient, BazziDingServer
+from repro.baselines.goodson import (
+    GoodsonClient,
+    GoodsonServer,
+    goodson_fragment_threshold,
+)
+from repro.baselines.martin import MartinClient, MartinServer
+from repro.baselines.phalanx import PhalanxClient, PhalanxServer
+
+__all__ = [
+    "BazziDingClient",
+    "BazziDingServer",
+    "GoodsonClient",
+    "GoodsonServer",
+    "goodson_fragment_threshold",
+    "MartinClient",
+    "MartinServer",
+    "PhalanxClient",
+    "PhalanxServer",
+]

@@ -1,0 +1,27 @@
+"""Asynchronous reliable broadcast.
+
+Bracha's protocol (Appendix B of the paper) for ordinary values, plus the
+AVID-RBC verifiable broadcast of large values from the cited
+Cachin-Tessaro scheme (dispersal + one block-exchange round)."""
+
+from repro.broadcast.verifiable import (
+    VerifiableBroadcastServer,
+    v_broadcast,
+)
+from repro.broadcast.reliable import (
+    MSG_ECHO,
+    MSG_READY,
+    MSG_SEND,
+    ReliableBroadcastServer,
+    r_broadcast,
+)
+
+__all__ = [
+    "MSG_ECHO",
+    "MSG_READY",
+    "MSG_SEND",
+    "ReliableBroadcastServer",
+    "r_broadcast",
+    "VerifiableBroadcastServer",
+    "v_broadcast",
+]

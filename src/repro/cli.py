@@ -1,0 +1,159 @@
+"""Command-line interface: simulate workloads and run experiments.
+
+Usage::
+
+    python -m repro.cli simulate --protocol atomic_ns --n 4 --t 1 \
+        --writes 3 --reads 3 --seed 7 --trace
+    python -m repro.cli experiments --fast
+    python -m repro.cli experiments t1 f4 f6
+    python -m repro.cli info --n 7 --t 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.history import HistoryRecorder
+from repro.analysis.trace import (
+    operation_summary,
+    traffic_summary,
+)
+from repro.cluster import PROTOCOLS, build_cluster
+from repro.config import SystemConfig
+from repro.net.schedulers import RandomScheduler
+from repro.workloads.generator import random_workload, run_workload
+
+_EXPERIMENTS = {
+    "t1": "comparison_table",
+    "t2": "complexity_table",
+    "f1": "storage_blowup",
+    "f2": "communication_sweep",
+    "f3": "message_complexity",
+    "f4": "timestamp_attack",
+    "f5": "resilience_matrix",
+    "f6": "poisonous_writes",
+    "f7": "concurrency_sweep",
+    "f8": "threshold_bench",
+    "f9": "listeners_ablation",
+    "f10": "latency_rounds",
+    "f11": "scheduler_sensitivity",
+    "f12": "broadcast_comparison",
+    "f13": "consensus_comparison",
+}
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    config = SystemConfig(n=args.n, t=args.t, k=args.k,
+                          commitment=args.commitment, seed=args.seed)
+    cluster = build_cluster(config, protocol=args.protocol,
+                            num_clients=args.clients,
+                            scheduler=RandomScheduler(args.seed))
+    operations = random_workload(args.clients, writes=args.writes,
+                                 reads=args.reads, seed=args.seed,
+                                 value_size=args.value_size)
+    run_workload(cluster, "reg", operations, seed=args.seed)
+    order = HistoryRecorder(cluster, "reg").check()
+    print(f"protocol={args.protocol} n={args.n} t={args.t} "
+          f"k={config.k} seed={args.seed}")
+    print(f"operations: {args.writes} writes + {args.reads} reads, "
+          f"all terminated, history linearizable")
+    print(f"witness linearization: {' < '.join(order)}")
+    print(traffic_summary(cluster.simulator.metrics, "reg"))
+    if args.trace:
+        print("\noperations:")
+        print(operation_summary(cluster.simulator.event_log))
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    names = [name.lower() for name in args.names] or list(_EXPERIMENTS)
+    unknown = [name for name in names if name not in _EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; "
+              f"choose from {sorted(_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    if set(names) == set(_EXPERIMENTS) and not args.names:
+        from repro.experiments import run_all
+        run_all.main(["--fast"] if args.fast else [])
+        # run_all covers T1-F8; the ablation/latency extras
+        # (F9-F13) are printed separately below.
+        names = ["f9", "f10", "f11", "f12", "f13"]
+    import importlib
+    for name in names:
+        module = importlib.import_module(
+            f"repro.experiments.{_EXPERIMENTS[name]}")
+        print(f"\n=== {name.upper()} " + "=" * 40)
+        module.main()
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.analysis.complexity import ComplexityModel
+    model = ComplexityModel(n=args.n, t=args.t, k=args.k,
+                            value_size=args.value_size)
+    print(f"deployment n={args.n} t={args.t} k={model.k} "
+          f"|F|={args.value_size} B")
+    print(f"quorum (n-t): {args.n - args.t}, "
+          f"deliver quorum (2t+1): {2 * args.t + 1}")
+    for name, prediction in model.all_protocols().items():
+        print(f"  {name:<11} {prediction.resilience:<7} "
+              f"blow-up {prediction.storage_blowup:6.2f}x  "
+              f"write ~{prediction.write_messages} msgs / "
+              f"{prediction.write_bytes} B  "
+              f"read ~{prediction.read_messages} msgs / "
+              f"{prediction.read_bytes} B")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    simulate = commands.add_parser(
+        "simulate", help="run a random workload on a simulated cluster")
+    simulate.add_argument("--protocol", default="atomic_ns",
+                          choices=sorted(PROTOCOLS))
+    simulate.add_argument("--n", type=int, default=4)
+    simulate.add_argument("--t", type=int, default=1)
+    simulate.add_argument("--k", type=int, default=None)
+    simulate.add_argument("--commitment", default="vector",
+                          choices=["vector", "merkle"])
+    simulate.add_argument("--clients", type=int, default=2)
+    simulate.add_argument("--writes", type=int, default=3)
+    simulate.add_argument("--reads", type=int, default=3)
+    simulate.add_argument("--value-size", type=int, default=256)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--trace", action="store_true",
+                          help="print the per-operation timeline")
+    simulate.set_defaults(handler=_cmd_simulate)
+
+    experiments = commands.add_parser(
+        "experiments", help="run evaluation experiments (T1-T2, F1-F13)")
+    experiments.add_argument("names", nargs="*",
+                             help="experiment ids (default: all)")
+    experiments.add_argument("--fast", action="store_true")
+    experiments.set_defaults(handler=_cmd_experiments)
+
+    info = commands.add_parser(
+        "info", help="print analytic predictions for a deployment")
+    info.add_argument("--n", type=int, default=4)
+    info.add_argument("--t", type=int, default=1)
+    info.add_argument("--k", type=int, default=None)
+    info.add_argument("--value-size", type=int, default=4096)
+    info.set_defaults(handler=_cmd_info)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,59 @@
+"""Shared primitives: party identifiers, tags, serialization, and errors."""
+
+from repro.common.errors import (
+    AtomicityViolation,
+    ConfigurationError,
+    CryptoError,
+    DealingError,
+    DecodingError,
+    InvalidShare,
+    InvalidSignature,
+    LivenessError,
+    ProtocolError,
+    ReproError,
+    SerializationError,
+    SimulationError,
+)
+from repro.common.ids import (
+    CLIENT,
+    SERVER,
+    PartyId,
+    client_id,
+    parent_tag,
+    server_id,
+    server_ids,
+    subtag,
+)
+from repro.common.serialization import (
+    decode,
+    encode,
+    encoded_size,
+    register_wire_type,
+)
+
+__all__ = [
+    "AtomicityViolation",
+    "ConfigurationError",
+    "CryptoError",
+    "DealingError",
+    "DecodingError",
+    "InvalidShare",
+    "InvalidSignature",
+    "LivenessError",
+    "ProtocolError",
+    "ReproError",
+    "SerializationError",
+    "SimulationError",
+    "CLIENT",
+    "SERVER",
+    "PartyId",
+    "client_id",
+    "parent_tag",
+    "server_id",
+    "server_ids",
+    "subtag",
+    "decode",
+    "encode",
+    "encoded_size",
+    "register_wire_type",
+]

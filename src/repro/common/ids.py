@@ -1,0 +1,97 @@
+"""Party identifiers and protocol-instance tags.
+
+The system model (paper, Section 2.1) has ``n`` servers ``P_1 .. P_n`` and an
+unbounded set of clients ``C_1, C_2, ...``.  Every protocol instance is
+identified by a unique string *tag* ``ID``; sub-protocol instances carry the
+caller's tag as a prefix (e.g. ``ID|disp.oid`` for the Disperse instance of
+the write with operation identifier ``oid``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.common.serialization import register_wire_type
+
+SERVER = "server"
+CLIENT = "client"
+
+#: Separator between the components of hierarchical tags.
+TAG_SEP = "|"
+
+
+@register_wire_type
+@dataclass(frozen=True, order=True)
+class PartyId:
+    """Identity of a server or client process.
+
+    ``PartyId`` values are ordered (servers before clients, then by index),
+    hashable, and render as the paper's names ``P<j>`` / ``C<i>``.
+    """
+
+    kind: str
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in (SERVER, CLIENT):
+            raise ValueError(f"unknown party kind: {self.kind!r}")
+        if self.index < 1:
+            raise ValueError("party indices are 1-based")
+
+    @property
+    def is_server(self) -> bool:
+        return self.kind == SERVER
+
+    @property
+    def is_client(self) -> bool:
+        return self.kind == CLIENT
+
+    def __str__(self) -> str:
+        prefix = "P" if self.is_server else "C"
+        return f"{prefix}{self.index}"
+
+    def __repr__(self) -> str:
+        return str(self)
+
+
+def server_id(j: int) -> PartyId:
+    """Return the identity of server ``P_j`` (1-based, as in the paper)."""
+    return PartyId(SERVER, j)
+
+
+def client_id(i: int) -> PartyId:
+    """Return the identity of client ``C_i`` (1-based, as in the paper)."""
+    return PartyId(CLIENT, i)
+
+
+def server_ids(n: int) -> list[PartyId]:
+    """Return the identities of all ``n`` servers ``P_1 .. P_n``."""
+    return [server_id(j) for j in range(1, n + 1)]
+
+
+def subtag(tag: str, *components: str) -> str:
+    """Build a sub-protocol tag with the caller's tag as prefix.
+
+    ``subtag("reg", "disp.oid7")`` returns ``"reg|disp.oid7"``, matching the
+    paper's notation ``ID|disp.oid``.
+    """
+    for component in components:
+        if not component:
+            raise ValueError("tag components must be non-empty")
+    return TAG_SEP.join((tag, *components))
+
+
+def parent_tag(tag: str) -> str:
+    """Return the tag of the invoking protocol instance.
+
+    Raises :class:`ValueError` if ``tag`` has no parent (it is top-level).
+    """
+    head, sep, _ = tag.rpartition(TAG_SEP)
+    if not sep:
+        raise ValueError(f"tag {tag!r} is top-level")
+    return head
+
+
+# dataclasses.replace is re-exported for convenience when deriving ids.
+replace = dataclasses.replace

@@ -1,0 +1,175 @@
+"""Canonical, deterministic binary serialization.
+
+Communication complexity in the paper (Section 2.1) is defined as the *bit
+length of all messages* associated with a protocol instance.  To measure it
+faithfully, every message payload in the simulator is encoded with the
+canonical encoding defined here, and the byte length of the encoding is what
+the metrics plane records.
+
+The encoding is self-describing and deterministic: equal values always
+produce identical byte strings (dict entries are sorted by encoded key), so
+it is also safe to hash encodings for content addressing.
+
+Supported values: ``None``, ``bool``, ``int`` (arbitrary precision),
+``bytes``, ``str``, ``list``, ``tuple``, ``dict``, and any dataclass
+registered with :func:`register_wire_type`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+from typing import Any, Callable
+
+from repro.common.errors import SerializationError
+
+_U32 = struct.Struct(">I")
+
+# Registered wire types: name -> (class, field names); class -> name.
+_WIRE_TYPES_BY_NAME: dict[str, tuple[type, tuple[str, ...]]] = {}
+_WIRE_NAMES_BY_TYPE: dict[type, str] = {}
+
+
+def register_wire_type(cls: type) -> type:
+    """Class decorator: make a dataclass canonically serializable.
+
+    The class is encoded as its qualified name plus its dataclass fields in
+    declaration order.  Field values must themselves be serializable.
+    """
+    if not dataclasses.is_dataclass(cls):
+        raise SerializationError(f"{cls!r} is not a dataclass")
+    name = f"{cls.__module__}.{cls.__qualname__}"
+    fields = tuple(f.name for f in dataclasses.fields(cls))
+    _WIRE_TYPES_BY_NAME[name] = (cls, fields)
+    _WIRE_NAMES_BY_TYPE[cls] = name
+    return cls
+
+
+def _encode_int(value: int, out: list[bytes]) -> None:
+    length = (value.bit_length() + 8) // 8  # +8 keeps a sign bit
+    payload = value.to_bytes(length, "big", signed=True)
+    out.append(b"i")
+    out.append(_U32.pack(len(payload)))
+    out.append(payload)
+
+
+def _encode(value: Any, out: list[bytes]) -> None:
+    if value is None:
+        out.append(b"N")
+    elif value is True:
+        out.append(b"T")
+    elif value is False:
+        out.append(b"F")
+    elif isinstance(value, int):
+        _encode_int(value, out)
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        data = bytes(value)
+        out.append(b"b")
+        out.append(_U32.pack(len(data)))
+        out.append(data)
+    elif isinstance(value, str):
+        data = value.encode("utf-8")
+        out.append(b"s")
+        out.append(_U32.pack(len(data)))
+        out.append(data)
+    elif isinstance(value, (list, tuple)):
+        out.append(b"l" if isinstance(value, list) else b"t")
+        out.append(_U32.pack(len(value)))
+        for item in value:
+            _encode(item, out)
+    elif isinstance(value, dict):
+        entries = sorted((encode(key), key, val) for key, val in value.items())
+        out.append(b"d")
+        out.append(_U32.pack(len(entries)))
+        for encoded_key, _, val in entries:
+            out.append(encoded_key)
+            _encode(val, out)
+    elif type(value) in _WIRE_NAMES_BY_TYPE:
+        name = _WIRE_NAMES_BY_TYPE[type(value)]
+        _, fields = _WIRE_TYPES_BY_NAME[name]
+        name_bytes = name.encode("utf-8")
+        out.append(b"r")
+        out.append(_U32.pack(len(name_bytes)))
+        out.append(name_bytes)
+        for field in fields:
+            _encode(getattr(value, field), out)
+    else:
+        raise SerializationError(
+            f"cannot canonically serialize {type(value).__name__}: {value!r}"
+        )
+
+
+def encode(value: Any) -> bytes:
+    """Return the canonical encoding of ``value``."""
+    out: list[bytes] = []
+    _encode(value, out)
+    return b"".join(out)
+
+
+def encoded_size(value: Any) -> int:
+    """Return ``len(encode(value))`` — the value's wire size in bytes."""
+    return len(encode(value))
+
+
+class _Decoder:
+    def __init__(self, data: bytes):
+        self._data = data
+        self._pos = 0
+
+    def _take(self, count: int) -> bytes:
+        end = self._pos + count
+        if end > len(self._data):
+            raise SerializationError("truncated encoding")
+        chunk = self._data[self._pos : end]
+        self._pos = end
+        return chunk
+
+    def _take_u32(self) -> int:
+        return _U32.unpack(self._take(4))[0]
+
+    def decode(self) -> Any:
+        tag = self._take(1)
+        if tag == b"N":
+            return None
+        if tag == b"T":
+            return True
+        if tag == b"F":
+            return False
+        if tag == b"i":
+            return int.from_bytes(self._take(self._take_u32()), "big", signed=True)
+        if tag == b"b":
+            return self._take(self._take_u32())
+        if tag == b"s":
+            return self._take(self._take_u32()).decode("utf-8")
+        if tag == b"l":
+            return [self.decode() for _ in range(self._take_u32())]
+        if tag == b"t":
+            return tuple(self.decode() for _ in range(self._take_u32()))
+        if tag == b"d":
+            count = self._take_u32()
+            result = {}
+            for _ in range(count):
+                key = self.decode()
+                result[key] = self.decode()
+            return result
+        if tag == b"r":
+            name = self._take(self._take_u32()).decode("utf-8")
+            try:
+                cls, fields = _WIRE_TYPES_BY_NAME[name]
+            except KeyError:
+                raise SerializationError(f"unknown wire type {name!r}") from None
+            values = {field: self.decode() for field in fields}
+            return cls(**values)
+        raise SerializationError(f"unknown type tag {tag!r}")
+
+    def finished(self) -> bool:
+        return self._pos == len(self._data)
+
+
+def decode(data: bytes) -> Any:
+    """Decode a value previously produced by :func:`encode`."""
+    decoder = _Decoder(data)
+    value = decoder.decode()
+    if not decoder.finished():
+        raise SerializationError("trailing bytes after encoding")
+    return value

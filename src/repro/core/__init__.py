@@ -1,0 +1,59 @@
+"""The paper's core contribution: Protocols Atomic and AtomicNS.
+
+Erasure-coded simulation of multi-writer multi-reader atomic registers in
+an asynchronous Byzantine message-passing system with optimal resilience
+(``n > 3t`` servers, arbitrarily many Byzantine clients), plus the
+threshold-signature-based non-skipping timestamp variant.
+"""
+
+from repro.core.atomic import (
+    MSG_ACK,
+    MSG_GET_TS,
+    MSG_READ,
+    MSG_READ_COMPLETE,
+    MSG_TS,
+    MSG_VALUE,
+    AtomicClient,
+    AtomicServer,
+    disp_tag,
+    rbc_tag,
+)
+from repro.core.atomic_ns import (
+    MSG_SHARE,
+    AtomicNSClient,
+    AtomicNSServer,
+    timestamp_signature_valid,
+)
+from repro.core.listeners import ListenerSet
+from repro.core.register import (
+    KIND_READ,
+    KIND_WRITE,
+    OperationHandle,
+    RegisterClientBase,
+)
+from repro.core.timestamps import BOTTOM_OID, INITIAL_TIMESTAMP, Timestamp
+
+__all__ = [
+    "MSG_ACK",
+    "MSG_GET_TS",
+    "MSG_READ",
+    "MSG_READ_COMPLETE",
+    "MSG_TS",
+    "MSG_VALUE",
+    "MSG_SHARE",
+    "AtomicClient",
+    "AtomicServer",
+    "AtomicNSClient",
+    "AtomicNSServer",
+    "timestamp_signature_valid",
+    "disp_tag",
+    "rbc_tag",
+    "ListenerSet",
+    "KIND_READ",
+    "KIND_WRITE",
+    "OperationHandle",
+    "RegisterClientBase",
+    "BOTTOM_OID",
+    "INITIAL_TIMESTAMP",
+    "Timestamp",
+]

@@ -1,0 +1,75 @@
+"""The set of listeners ``L`` (the Martin et al. pattern).
+
+While a read with identifier ``oid`` is in progress, every server keeps a
+listener entry ``[oid, TS, i]`` — the reader's operation identifier, the
+TIMESTAMP the server held when the read arrived, and the reading client.
+Whenever the server accepts a write with a larger TIMESTAMP, it forwards
+the new value to all listeners with smaller entries, which is what makes
+reads wait-free under concurrent writes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+from repro.common.ids import PartyId
+from repro.common.serialization import encoded_size
+from repro.core.timestamps import Timestamp
+
+
+class ListenerSet:
+    """Listener entries of one register at one server.
+
+    ``capacity`` optionally bounds ``|L|`` — the bound the paper's
+    complexity analysis assumes (Section 3.5), noting that enforcing it
+    "violates the liveness of our protocol": once full, new readers get a
+    one-shot reply but no forwarding, so under sustained concurrent
+    writes their reads may never assemble a stable quorum.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self._entries: Dict[str, Tuple[Timestamp, PartyId]] = {}
+        self._retired: Set[str] = set()
+        self.capacity = capacity
+
+    def add(self, oid: str, timestamp: Timestamp, client: PartyId) -> bool:
+        """Register a listener; returns ``False`` if the read identifier is
+        already listening, has already completed (``read-complete``), or
+        the capacity bound is reached."""
+        if oid in self._entries or oid in self._retired:
+            return False
+        if self.capacity is not None and \
+                len(self._entries) >= self.capacity:
+            return False
+        self._entries[oid] = (timestamp, client)
+        return True
+
+    def knows(self, oid: str) -> bool:
+        """Whether this read identifier was already seen (listening now,
+        or retired by ``read-complete``)."""
+        return oid in self._entries or oid in self._retired
+
+    def retire(self, oid: str) -> None:
+        """Handle ``read-complete``: drop the entry and refuse the
+        identifier forever."""
+        self._entries.pop(oid, None)
+        self._retired.add(oid)
+
+    def below(self, timestamp: Timestamp) -> Iterator[Tuple[str, PartyId]]:
+        """Listeners whose recorded TIMESTAMP is strictly smaller."""
+        for oid, (recorded, client) in self._entries.items():
+            if recorded < timestamp:
+                yield oid, client
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, oid: str) -> bool:
+        return oid in self._entries
+
+    def storage_bytes(self) -> int:
+        """Wire size of the live entries (the paper bounds ``|L|`` when
+        analysing storage complexity)."""
+        return sum(
+            encoded_size((oid, timestamp, client))
+            for oid, (timestamp, client) in self._entries.items())

@@ -1,0 +1,47 @@
+"""Logical TIMESTAMPS ``[ts, oid]`` with the paper's lexicographic order.
+
+Every written value carries a timestamp ``ts`` (an integer version number)
+paired with the unique operation identifier ``oid`` of the write, breaking
+ties between concurrent writers (Section 3.2, equation (1)):
+
+    ``[ts, oid] < [ts', oid']  iff  ts < ts'  or  (ts = ts' and oid < oid')``
+
+Operation identifiers are strings ordered canonically (Python string
+order).  The initial register state has TIMESTAMP ``[0, ⊥]`` where ``⊥``
+(the empty string) precedes every real identifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.serialization import register_wire_type
+
+#: The ``⊥`` operation identifier of the initial value.
+BOTTOM_OID = ""
+
+
+@register_wire_type
+@dataclass(frozen=True, order=True)
+class Timestamp:
+    """A TIMESTAMP ``[ts, oid]``; ordering is lexicographic, as dataclass
+    field order gives exactly equation (1) of the paper."""
+
+    ts: int
+    oid: str
+
+    def __post_init__(self) -> None:
+        if self.ts < 0:
+            raise ValueError("timestamps are non-negative")
+
+    def next(self, oid: str) -> "Timestamp":
+        """The TIMESTAMP a write with ``oid`` gets after broadcasting
+        ``self.ts`` (the server-side increment)."""
+        return Timestamp(self.ts + 1, oid)
+
+    def __str__(self) -> str:
+        return f"[{self.ts}, {self.oid or '⊥'}]"
+
+
+#: TIMESTAMP of the initial register value ``F_init``.
+INITIAL_TIMESTAMP = Timestamp(0, BOTTOM_OID)

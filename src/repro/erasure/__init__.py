@@ -1,0 +1,11 @@
+"""Information dispersal substrate: GF(2^8) Reed–Solomon erasure coding.
+
+Implements the ``(n, k)``-erasure code of Section 2.3 of the paper: any
+``k`` of the ``n`` encoded blocks reconstruct the value, and each block has
+roughly ``|F| / k`` bytes.
+"""
+
+from repro.erasure.coder import ErasureCoder
+from repro.erasure.reed_solomon import ReedSolomonCode
+
+__all__ = ["ErasureCoder", "ReedSolomonCode"]

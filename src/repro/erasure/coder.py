@@ -1,0 +1,110 @@
+"""Value-level erasure coding: framing, padding, encode, decode.
+
+The protocols store arbitrary byte-string *values* ``F``.  This module
+turns the block-level :class:`~repro.erasure.reed_solomon.ReedSolomonCode`
+into the paper's value-level interface:
+
+* ``encode(F)`` produces the vector ``[F_1, ..., F_n]`` where each block
+  has ``ceil((|F| + header) / k)`` bytes — the ``|F_j| ~ |F| / k`` storage
+  saving that motivates information dispersal;
+* ``decode({(j, F_j)})`` reconstructs ``F`` from any ``k`` blocks.
+
+Framing: the value is prefixed with its 8-byte big-endian length and
+zero-padded to a multiple of ``k``, so decoding is unambiguous for every
+value length including zero.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.common.errors import ConfigurationError, DecodingError
+from repro.erasure.reed_solomon import ReedSolomonCode
+from repro.erasure.reed_solomon16 import ReedSolomonCode16
+
+_LENGTH_HEADER = 8
+
+
+class ErasureCoder:
+    """An ``(n, k)`` erasure code over whole byte-string values.
+
+    This is the object the register protocols hold; ``k <= n - t`` is the
+    paper's constraint so that the blocks held by honest servers always
+    suffice to reconstruct (Theorem 2 allows any ``1 <= k <= n - t``).
+
+    ``field`` selects the symbol field: ``"gf256"`` (n <= 255),
+    ``"gf65536"`` (n <= 65535), or ``"auto"`` (default — the smallest
+    field that fits ``n``).
+    """
+
+    def __init__(self, n: int, k: int, field: str = "auto"):
+        if field == "auto":
+            field = "gf256" if n <= 255 else "gf65536"
+        if field == "gf256":
+            self._code = ReedSolomonCode(n, k)
+            self._symbol_bytes = 1
+        elif field == "gf65536":
+            self._code = ReedSolomonCode16(n, k)
+            self._symbol_bytes = 2
+        else:
+            raise ConfigurationError(f"unknown erasure field {field!r}")
+        self.field = field
+
+    @property
+    def n(self) -> int:
+        return self._code.n
+
+    @property
+    def k(self) -> int:
+        return self._code.k
+
+    def block_length(self, value_length: int) -> int:
+        """Byte length of each block for a value of ``value_length`` bytes."""
+        padded = value_length + _LENGTH_HEADER
+        length = (padded + self.k - 1) // self.k
+        # Round up to whole symbols (2 bytes in GF(2^16)).
+        remainder = length % self._symbol_bytes
+        if remainder:
+            length += self._symbol_bytes - remainder
+        return length
+
+    def encode(self, value: bytes) -> List[bytes]:
+        """Encode ``value`` into ``n`` blocks, any ``k`` of which decode."""
+        if not isinstance(value, (bytes, bytearray, memoryview)):
+            raise ConfigurationError("values must be byte strings")
+        value = bytes(value)
+        framed = len(value).to_bytes(_LENGTH_HEADER, "big") + value
+        block_length = self.block_length(len(value))
+        framed = framed.ljust(block_length * self.k, b"\x00")
+        data_blocks = [framed[i * block_length:(i + 1) * block_length]
+                       for i in range(self.k)]
+        return self._code.encode_blocks(data_blocks)
+
+    def decode(self, blocks: Iterable[Tuple[int, bytes]]) -> bytes:
+        """Reconstruct the value from ``(index, block)`` pairs (1-based
+        indices ``j`` as in the paper; any ``k`` distinct indices work).
+
+        Raises :class:`DecodingError` on insufficient, duplicate-index, or
+        malformed input.
+        """
+        by_index: Dict[int, bytes] = {}
+        for index, block in blocks:
+            if not 1 <= index <= self.n:
+                raise DecodingError(f"block index {index} out of range")
+            zero_based = index - 1
+            if zero_based in by_index and by_index[zero_based] != block:
+                raise DecodingError(
+                    f"conflicting blocks supplied for index {index}")
+            by_index[zero_based] = bytes(block)
+        data_blocks = self._code.decode_blocks(by_index)
+        framed = b"".join(data_blocks)
+        length = int.from_bytes(framed[:_LENGTH_HEADER], "big")
+        if length > len(framed) - _LENGTH_HEADER:
+            raise DecodingError("corrupt framing: length exceeds payload")
+        return framed[_LENGTH_HEADER:_LENGTH_HEADER + length]
+
+    def storage_blowup(self, value_length: int) -> float:
+        """Measured storage blow-up ``n * |F_j| / |F|`` for this coder."""
+        if value_length <= 0:
+            raise ConfigurationError("value length must be positive")
+        return self.n * self.block_length(value_length) / value_length

@@ -1,0 +1,159 @@
+"""Arithmetic in the finite field GF(2^8).
+
+The ``(n, k)`` erasure code (paper, Section 2.3) is instantiated as a
+Reed–Solomon code over GF(2^8) with the standard primitive polynomial
+``x^8 + x^4 + x^3 + x^2 + 1`` (0x11d) and generator 2.  Field elements are
+Python ints in ``[0, 255]``; bulk operations over data blocks use the
+exported multiplication table with numpy.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+#: Primitive polynomial for GF(2^8).
+PRIMITIVE_POLY = 0x11D
+
+#: Field order.
+ORDER = 256
+
+
+def _build_tables() -> tuple:
+    exp = [0] * 512
+    log = [0] * 256
+    value = 1
+    for power in range(255):
+        exp[power] = value
+        log[value] = power
+        value <<= 1
+        if value & 0x100:
+            value ^= PRIMITIVE_POLY
+    for power in range(255, 512):
+        exp[power] = exp[power - 255]
+    return exp, log
+
+
+EXP_TABLE, LOG_TABLE = _build_tables()
+
+
+def gf_add(a: int, b: int) -> int:
+    """Addition in GF(2^8) (bitwise XOR; same as subtraction)."""
+    return a ^ b
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Multiplication in GF(2^8)."""
+    if a == 0 or b == 0:
+        return 0
+    return EXP_TABLE[LOG_TABLE[a] + LOG_TABLE[b]]
+
+
+def gf_div(a: int, b: int) -> int:
+    """Division in GF(2^8); raises ``ZeroDivisionError`` on ``b == 0``."""
+    if b == 0:
+        raise ZeroDivisionError("division by zero in GF(2^8)")
+    if a == 0:
+        return 0
+    return EXP_TABLE[LOG_TABLE[a] - LOG_TABLE[b] + 255]
+
+
+def gf_inv(a: int) -> int:
+    """Multiplicative inverse in GF(2^8)."""
+    if a == 0:
+        raise ZeroDivisionError("zero has no inverse in GF(2^8)")
+    return EXP_TABLE[255 - LOG_TABLE[a]]
+
+
+def gf_pow(a: int, exponent: int) -> int:
+    """Exponentiation in GF(2^8) (negative exponents allowed for a != 0)."""
+    if a == 0:
+        if exponent < 0:
+            raise ZeroDivisionError("zero has no inverse in GF(2^8)")
+        return 1 if exponent == 0 else 0
+    power = (LOG_TABLE[a] * exponent) % 255
+    return EXP_TABLE[power]
+
+
+# ---------------------------------------------------------------------------
+# Matrices over GF(2^8), represented as lists of row lists.
+# ---------------------------------------------------------------------------
+
+Matrix = List[List[int]]
+
+
+def matrix_multiply(a: Matrix, b: Matrix) -> Matrix:
+    """Matrix product over GF(2^8)."""
+    rows, inner, cols = len(a), len(b), len(b[0])
+    if any(len(row) != inner for row in a):
+        raise ValueError("matrix dimensions do not match")
+    result = [[0] * cols for _ in range(rows)]
+    for i in range(rows):
+        row = a[i]
+        out = result[i]
+        for s in range(inner):
+            coefficient = row[s]
+            if coefficient == 0:
+                continue
+            b_row = b[s]
+            for j in range(cols):
+                out[j] ^= gf_mul(coefficient, b_row[j])
+    return result
+
+
+def identity_matrix(size: int) -> Matrix:
+    """The ``size x size`` identity matrix."""
+    return [[1 if i == j else 0 for j in range(size)] for i in range(size)]
+
+
+def matrix_invert(matrix: Matrix) -> Matrix:
+    """Invert a square matrix over GF(2^8) by Gauss–Jordan elimination.
+
+    Raises ``ValueError`` if the matrix is singular.
+    """
+    size = len(matrix)
+    if any(len(row) != size for row in matrix):
+        raise ValueError("matrix is not square")
+    work = [list(row) for row in matrix]
+    inverse = identity_matrix(size)
+    for col in range(size):
+        pivot_row = next(
+            (r for r in range(col, size) if work[r][col] != 0), None)
+        if pivot_row is None:
+            raise ValueError("matrix is singular over GF(2^8)")
+        work[col], work[pivot_row] = work[pivot_row], work[col]
+        inverse[col], inverse[pivot_row] = inverse[pivot_row], inverse[col]
+        pivot_inv = gf_inv(work[col][col])
+        work[col] = [gf_mul(pivot_inv, value) for value in work[col]]
+        inverse[col] = [gf_mul(pivot_inv, value) for value in inverse[col]]
+        for row in range(size):
+            if row == col or work[row][col] == 0:
+                continue
+            factor = work[row][col]
+            work[row] = [value ^ gf_mul(factor, pivot)
+                         for value, pivot in zip(work[row], work[col])]
+            inverse[row] = [value ^ gf_mul(factor, pivot)
+                            for value, pivot in zip(inverse[row],
+                                                    inverse[col])]
+    return inverse
+
+
+def vandermonde_matrix(rows: int, cols: int) -> Matrix:
+    """The ``rows x cols`` Vandermonde matrix ``V[i][j] = i^j`` over GF(2^8).
+
+    Any ``cols`` distinct rows are linearly independent as long as
+    ``rows <= 255``, which is what makes every ``k``-subset of encoded
+    blocks decodable.
+    """
+    if rows > ORDER - 1:
+        raise ValueError("GF(2^8) Vandermonde supports at most 255 rows")
+    return [[gf_pow(i, j) for j in range(cols)] for i in range(rows)]
+
+
+def mul_row(coefficient: int, data: Sequence[int]) -> list:
+    """Multiply every byte of ``data`` by ``coefficient`` (scalar path)."""
+    if coefficient == 0:
+        return [0] * len(data)
+    log_c = LOG_TABLE[coefficient]
+    exp = EXP_TABLE
+    log = LOG_TABLE
+    return [0 if b == 0 else exp[log_c + log[b]] for b in data]

@@ -1,0 +1,145 @@
+"""Systematic ``(n, k)`` Reed–Solomon erasure code over GF(2^8).
+
+This is the ``(n, k)``-erasure code ``C`` of Section 2.3: ``encode``
+produces ``n`` blocks of ``|F| / k`` bytes each, and ``decode``
+reconstructs the value from *any* ``k`` blocks with their indices.
+
+Construction: take the ``n x k`` Vandermonde matrix and right-multiply by
+the inverse of its top ``k x k`` square, yielding a systematic generator
+matrix (identity on top) in which every ``k``-row subset is invertible.
+Bulk block arithmetic is vectorized with numpy lookup tables; a pure-Python
+path is kept for environments without numpy and as a cross-check in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.common.errors import ConfigurationError, DecodingError
+from repro.erasure import gf256
+from repro.erasure.gf256 import (
+    Matrix,
+    matrix_invert,
+    matrix_multiply,
+    vandermonde_matrix,
+)
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a declared dependency
+    _np = None
+
+if _np is not None:
+    # _MUL_TABLE[a, b] == gf_mul(a, b); rows are used as coefficient LUTs.
+    _MUL_TABLE = _np.zeros((256, 256), dtype=_np.uint8)
+    for _a in range(256):
+        for _b in range(256):
+            _MUL_TABLE[_a, _b] = gf256.gf_mul(_a, _b)
+
+
+class ReedSolomonCode:
+    """A systematic ``(n, k)`` Reed–Solomon code over bytes.
+
+    ``encode`` maps ``k`` equal-length data blocks to ``n`` blocks whose
+    first ``k`` entries are the data itself; ``decode`` recovers the data
+    blocks from any ``k`` of the ``n``.
+
+    Parameters
+    ----------
+    n:
+        Total number of blocks (at most 255).
+    k:
+        Number of blocks sufficient for reconstruction (``1 <= k <= n``).
+    use_numpy:
+        Vectorize block arithmetic with numpy (default when available).
+    """
+
+    def __init__(self, n: int, k: int, use_numpy: bool = True):
+        if not 1 <= k <= n:
+            raise ConfigurationError(f"require 1 <= k <= n, got n={n} k={k}")
+        if n > 255:
+            raise ConfigurationError("GF(2^8) Reed-Solomon supports n <= 255")
+        self.n = n
+        self.k = k
+        self._use_numpy = bool(use_numpy and _np is not None)
+        vandermonde = vandermonde_matrix(n, k)
+        top_inverse = matrix_invert([row[:] for row in vandermonde[:k]])
+        self._generator: Matrix = matrix_multiply(vandermonde, top_inverse)
+
+    @property
+    def generator_matrix(self) -> Matrix:
+        """The systematic ``n x k`` generator matrix (row ``j`` makes block
+        ``j``; the top ``k`` rows are the identity)."""
+        return [row[:] for row in self._generator]
+
+    # -- encoding ---------------------------------------------------------
+
+    def encode_blocks(self, data_blocks: Sequence[bytes]) -> List[bytes]:
+        """Encode ``k`` equal-length data blocks into ``n`` blocks."""
+        if len(data_blocks) != self.k:
+            raise ConfigurationError(
+                f"encode_blocks expects {self.k} data blocks, "
+                f"got {len(data_blocks)}")
+        lengths = {len(block) for block in data_blocks}
+        if len(lengths) != 1:
+            raise ConfigurationError("data blocks must have equal length")
+        return self._matvec(self._generator, data_blocks)
+
+    # -- decoding ---------------------------------------------------------
+
+    def decode_blocks(self, blocks: Dict[int, bytes]) -> List[bytes]:
+        """Recover the ``k`` data blocks from ``{index: block}`` pairs.
+
+        ``blocks`` must contain at least ``k`` entries with distinct
+        indices in ``[0, n)``; extras are ignored deterministically
+        (lowest indices win).  Raises :class:`DecodingError` otherwise.
+        """
+        usable = sorted(index for index in blocks if 0 <= index < self.n)
+        if len(usable) < self.k:
+            raise DecodingError(
+                f"need {self.k} blocks to decode, got {len(usable)}")
+        chosen = usable[: self.k]
+        lengths = {len(blocks[index]) for index in chosen}
+        if len(lengths) != 1:
+            raise DecodingError("blocks must have equal length")
+        if all(index < self.k for index in chosen):
+            # All-systematic fast path: the data blocks are present.
+            return [bytes(blocks[index]) for index in chosen]
+        submatrix = [self._generator[index][:] for index in chosen]
+        try:
+            inverse = matrix_invert(submatrix)
+        except ValueError as exc:  # pragma: no cover - cannot happen for RS
+            raise DecodingError(str(exc)) from exc
+        return self._matvec(inverse, [blocks[index] for index in chosen])
+
+    def reconstruct_all(self, blocks: Dict[int, bytes]) -> List[bytes]:
+        """Recover all ``n`` blocks (data + parity) from any ``k``."""
+        return self.encode_blocks(self.decode_blocks(blocks))
+
+    # -- block arithmetic ---------------------------------------------------
+
+    def _matvec(self, matrix: Matrix,
+                blocks: Sequence[bytes]) -> List[bytes]:
+        """Multiply ``matrix`` by the column vector of byte blocks."""
+        if self._use_numpy:
+            data = _np.frombuffer(b"".join(blocks), dtype=_np.uint8)
+            data = data.reshape(len(blocks), -1)
+            out = []
+            for row in matrix:
+                accumulator = _np.zeros(data.shape[1], dtype=_np.uint8)
+                for coefficient, block_row in zip(row, data):
+                    if coefficient:
+                        accumulator ^= _MUL_TABLE[coefficient][block_row]
+                out.append(accumulator.tobytes())
+            return out
+        length = len(blocks[0])
+        out = []
+        for row in matrix:
+            accumulator = [0] * length
+            for coefficient, block in zip(row, blocks):
+                if coefficient == 0:
+                    continue
+                product = gf256.mul_row(coefficient, block)
+                accumulator = [a ^ p for a, p in zip(accumulator, product)]
+            out.append(bytes(accumulator))
+        return out

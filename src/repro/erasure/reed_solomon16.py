@@ -1,0 +1,145 @@
+"""Systematic ``(n, k)`` Reed–Solomon over GF(2^16): clusters beyond 255.
+
+Same construction as :class:`repro.erasure.reed_solomon.ReedSolomonCode`
+(Vandermonde made systematic), but with 16-bit symbols, so ``n`` may
+reach 65535.  Blocks are byte strings of even length; bulk arithmetic is
+vectorized with numpy over ``uint16`` views when available (log/exp table
+lookups), with a pure-Python fallback.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.common.errors import ConfigurationError, DecodingError
+from repro.erasure import gf65536
+from repro.erasure.gf65536 import (
+    Matrix,
+    matrix_invert,
+    matrix_multiply,
+    vandermonde_matrix,
+)
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a declared dependency
+    _np = None
+
+_NP_TABLES = None
+
+
+def _np_tables():
+    """Numpy views of the exp/log tables (built on first bulk use)."""
+    global _NP_TABLES
+    if _NP_TABLES is None:
+        exp, log = gf65536._tables()
+        _NP_TABLES = (_np.array(exp, dtype=_np.uint32),
+                      _np.array(log, dtype=_np.uint32))
+    return _NP_TABLES
+
+
+class ReedSolomonCode16:
+    """A systematic ``(n, k)`` Reed-Solomon code with 16-bit symbols.
+
+    ``encode_blocks``/``decode_blocks`` mirror the GF(2^8) class; block
+    byte lengths must be even (one symbol = two bytes).
+    """
+
+    def __init__(self, n: int, k: int, use_numpy: bool = True):
+        if not 1 <= k <= n:
+            raise ConfigurationError(f"require 1 <= k <= n, got n={n} k={k}")
+        if n > gf65536.ORDER - 1:
+            raise ConfigurationError(
+                "GF(2^16) Reed-Solomon supports n <= 65535")
+        self.n = n
+        self.k = k
+        self._use_numpy = bool(use_numpy and _np is not None)
+        vandermonde = vandermonde_matrix(n, k)
+        top_inverse = matrix_invert([row[:] for row in vandermonde[:k]])
+        self._generator: Matrix = matrix_multiply(vandermonde, top_inverse)
+
+    @property
+    def generator_matrix(self) -> Matrix:
+        """The systematic ``n x k`` generator matrix (copy)."""
+        return [row[:] for row in self._generator]
+
+    def encode_blocks(self, data_blocks: Sequence[bytes]) -> List[bytes]:
+        """Encode ``k`` equal even-length data blocks into ``n`` blocks."""
+        if len(data_blocks) != self.k:
+            raise ConfigurationError(
+                f"encode_blocks expects {self.k} data blocks, "
+                f"got {len(data_blocks)}")
+        lengths = {len(block) for block in data_blocks}
+        if len(lengths) != 1:
+            raise ConfigurationError("data blocks must have equal length")
+        if lengths.pop() % 2:
+            raise ConfigurationError(
+                "GF(2^16) blocks must have even byte length")
+        return self._matvec(self._generator, data_blocks)
+
+    def decode_blocks(self, blocks: Dict[int, bytes]) -> List[bytes]:
+        """Recover the ``k`` data blocks from any ``k`` indexed blocks."""
+        usable = sorted(index for index in blocks if 0 <= index < self.n)
+        if len(usable) < self.k:
+            raise DecodingError(
+                f"need {self.k} blocks to decode, got {len(usable)}")
+        chosen = usable[: self.k]
+        lengths = {len(blocks[index]) for index in chosen}
+        if len(lengths) != 1:
+            raise DecodingError("blocks must have equal length")
+        if lengths.pop() % 2:
+            raise DecodingError("GF(2^16) blocks must have even length")
+        if all(index < self.k for index in chosen):
+            return [bytes(blocks[index]) for index in chosen]
+        submatrix = [self._generator[index][:] for index in chosen]
+        inverse = matrix_invert(submatrix)
+        return self._matvec(inverse, [blocks[index] for index in chosen])
+
+    # -- symbol-level arithmetic ----------------------------------------------
+
+    def _matvec(self, matrix: Matrix,
+                blocks: Sequence[bytes]) -> List[bytes]:
+        if self._use_numpy:
+            return self._matvec_numpy(matrix, blocks)
+        return self._matvec_python(matrix, blocks)
+
+    def _matvec_numpy(self, matrix: Matrix,
+                      blocks: Sequence[bytes]) -> List[bytes]:
+        exp, log = _np_tables()
+        data = _np.frombuffer(b"".join(blocks), dtype=">u2")
+        data = data.reshape(len(blocks), -1).astype(_np.uint32)
+        log_data = log[data]
+        nonzero = data != 0
+        out: List[bytes] = []
+        for row in matrix:
+            accumulator = _np.zeros(data.shape[1], dtype=_np.uint32)
+            for coefficient, block_log, block_nonzero in zip(
+                    row, log_data, nonzero):
+                if coefficient == 0:
+                    continue
+                log_c = int(log[coefficient])
+                product = _np.where(
+                    block_nonzero, exp[block_log + log_c], 0)
+                accumulator ^= product
+            out.append(accumulator.astype(">u2").tobytes())
+        return out
+
+    def _matvec_python(self, matrix: Matrix,
+                       blocks: Sequence[bytes]) -> List[bytes]:
+        words = [
+            [int.from_bytes(block[i:i + 2], "big")
+             for i in range(0, len(block), 2)]
+            for block in blocks
+        ]
+        out: List[bytes] = []
+        for row in matrix:
+            accumulator = [0] * len(words[0])
+            for coefficient, symbols in zip(row, words):
+                if coefficient == 0:
+                    continue
+                for position, symbol in enumerate(symbols):
+                    accumulator[position] ^= gf65536.gf_mul(coefficient,
+                                                            symbol)
+            out.append(b"".join(symbol.to_bytes(2, "big")
+                                for symbol in accumulator))
+        return out

@@ -1,0 +1,24 @@
+"""Experiment harness: one module per reproduced table/figure.
+
+See DESIGN.md §3 for the experiment index and EXPERIMENTS.md for a
+captured run.  ``python -m repro.experiments.run_all`` regenerates
+everything; the individual modules (``comparison_table``,
+``complexity_table``, ``storage_blowup``, ``communication_sweep``,
+``message_complexity``, ``timestamp_attack``, ``resilience_matrix``,
+``poisonous_writes``, ``concurrency_sweep``, ``threshold_bench``) are
+importable and runnable on their own.
+"""
+
+from repro.experiments.common import (
+    IsolatedCosts,
+    OperationCost,
+    measure_isolated_costs,
+    render_table,
+)
+
+__all__ = [
+    "IsolatedCosts",
+    "OperationCost",
+    "measure_isolated_costs",
+    "render_table",
+]

@@ -1,0 +1,129 @@
+"""Shared measurement utilities for the experiment harness.
+
+Every experiment follows the same pattern: build a cluster, run a
+workload, and report *measured* message/communication/storage complexity —
+optionally next to the analytic prediction of
+:mod:`repro.analysis.complexity`.  Operation costs are isolated by
+differencing metric snapshots around a single operation, exactly matching
+the paper's per-instance complexity definitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster import Cluster, build_cluster
+from repro.config import SystemConfig
+from repro.net.schedulers import RandomScheduler
+from repro.workloads.generator import make_values
+
+
+@dataclass(frozen=True)
+class OperationCost:
+    """Measured cost of one isolated operation."""
+
+    messages: int
+    message_bytes: int
+
+
+@dataclass
+class IsolatedCosts:
+    """Measured costs of an isolated write and read plus server storage."""
+
+    protocol: str
+    n: int
+    t: int
+    k: Optional[int]
+    value_size: int
+    write: OperationCost
+    read: OperationCost
+    storage_per_server: float
+    storage_blowup: float
+
+
+def _snapshot_delta(cluster: Cluster, action) -> OperationCost:
+    before_messages, before_bytes = cluster.simulator.metrics.snapshot()
+    action()
+    after_messages, after_bytes = cluster.simulator.metrics.snapshot()
+    return OperationCost(messages=after_messages - before_messages,
+                         message_bytes=after_bytes - before_bytes)
+
+
+def average_register_storage(cluster: Cluster, tag: str) -> float:
+    """Mean per-server storage of one register's global variables."""
+    totals = []
+    for server in cluster.servers:
+        probe = getattr(server, "register_storage_bytes", None)
+        if probe is not None:
+            totals.append(probe(tag))
+    return sum(totals) / len(totals) if totals else 0.0
+
+
+def measure_isolated_costs(protocol: str, n: int, t: int,
+                           k: Optional[int] = None,
+                           value_size: int = 1024, seed: int = 0,
+                           commitment: str = "vector",
+                           threshold_backend: str = "ideal"
+                           ) -> IsolatedCosts:
+    """Measure an isolated write and an isolated read.
+
+    A priming write moves the register past its initial state first, so
+    the measured operations are steady-state (the read returns a real
+    dispersed value, not ``F_init``).
+    """
+    config = SystemConfig(n=n, t=t, k=k, commitment=commitment,
+                          threshold_backend=threshold_backend, seed=seed)
+    cluster = build_cluster(config, protocol=protocol, num_clients=1,
+                            scheduler=RandomScheduler(seed))
+    prime, target = make_values(2, size=value_size)
+    cluster.write(1, "reg", "prime", prime)
+    cluster.run()
+    write_cost = _snapshot_delta(
+        cluster, lambda: (cluster.write(1, "reg", "w", target),
+                          cluster.run()))
+    read_cost = _snapshot_delta(
+        cluster, lambda: (cluster.read(1, "reg", "r"), cluster.run()))
+    storage = average_register_storage(cluster, "reg")
+    return IsolatedCosts(
+        protocol=protocol, n=n, t=t, k=config.k if protocol not in
+        ("martin", "bazzi_ding") else None,
+        value_size=value_size, write=write_cost, read=read_cost,
+        storage_per_server=storage,
+        storage_blowup=storage * n / value_size)
+
+
+# ---------------------------------------------------------------------------
+# Plain-text table rendering (what the benches and run_all print).
+# ---------------------------------------------------------------------------
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: Optional[str] = None) -> str:
+    """Fixed-width ASCII table; cells are stringified as-is."""
+    cells = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * width for width in widths)
+    lines.append(" | ".join(header.ljust(width)
+                            for header, width in zip(headers, widths)))
+    lines.append(separator)
+    for row in cells:
+        lines.append(" | ".join(cell.ljust(width)
+                                for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def fmt_bytes(count: float) -> str:
+    """Human-readable byte counts for table cells."""
+    count = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if count < 1024 or unit == "GiB":
+            return f"{count:.1f} {unit}" if unit != "B" \
+                else f"{int(count)} B"
+        count /= 1024
+    return f"{count:.1f} GiB"

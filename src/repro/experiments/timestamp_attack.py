@@ -1,0 +1,180 @@
+"""Experiment F4 — timestamp growth under attack (Section 3.4).
+
+Reproduces the paper's non-skipping-timestamps claims by mounting every
+timestamp attack against every protocol and measuring the largest
+timestamp honest servers end up storing, relative to the number of writes
+that actually took effect:
+
+* corrupted **servers** reporting inflated timestamps make honest writers
+  skip in Protocol Atomic and in Martin et al. (they take the max); they
+  fail against AtomicNS (no valid signature) and against Bazzi–Ding (the
+  ``(t+1)``-st-largest rule) — but Bazzi–Ding needs ``n > 4t`` for it;
+* corrupted **clients** broadcasting huge timestamps succeed against
+  Atomic and against Bazzi–Ding (no client authentication), but not
+  against AtomicNS — the strongest remaining client attack is replaying a
+  valid ``[ts, σ]`` pair, which stays bounded (Lemma 7).
+
+A protocol is *non-skipping under the scenario* when the maximum stored
+timestamp is at most the number of effected writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cluster import build_cluster
+from repro.config import SystemConfig
+from repro.core.timestamps import Timestamp
+from repro.experiments.common import render_table
+from repro.faults.byzantine_clients import (
+    ReplayingNSWriter,
+    SkippingWriter,
+    SplitBrainMartinWriter,
+)
+from repro.faults.byzantine_servers import (
+    InflatorNSServer,
+    InflatorServer,
+    MartinInflatorServer,
+)
+from repro.net.schedulers import RandomScheduler
+from repro.workloads.generator import make_values
+
+TAG = "reg"
+
+
+@dataclass
+class AttackOutcome:
+    scenario: str
+    protocol: str
+    effected_writes: int
+    max_timestamp: int
+    non_skipping: bool
+
+
+def _max_server_timestamp(cluster) -> int:
+    """Largest timestamp stored at any honest server of the cluster
+    (Byzantine overrides are skipped by attribute probing)."""
+    result = 0
+    for server in cluster.servers:
+        probe = getattr(server, "register_state", None)
+        if probe is None:
+            continue
+        state = probe(TAG)
+        timestamp = getattr(state, "timestamp", None)
+        if timestamp is None and hasattr(state, "latest"):
+            timestamp = state.latest()
+        if isinstance(timestamp, Timestamp):
+            result = max(result, timestamp.ts)
+    return result
+
+
+def _effected_writes(cluster) -> int:
+    oids = set()
+    for event in cluster.simulator.event_log:
+        if event.kind == "out" and event.action == "write-accepted" \
+                and event.payload:
+            oids.add(event.payload[0])
+    return len(oids)
+
+
+def _outcome(scenario: str, protocol: str, cluster) -> AttackOutcome:
+    effected = _effected_writes(cluster)
+    max_ts = _max_server_timestamp(cluster)
+    return AttackOutcome(scenario=scenario, protocol=protocol,
+                         effected_writes=effected, max_timestamp=max_ts,
+                         non_skipping=max_ts <= effected)
+
+
+def run(t: int = 1, honest_writes: int = 5, seed: int = 0
+        ) -> List[AttackOutcome]:
+    """Execute the experiment sweep; returns structured result rows."""
+    outcomes = []
+    values = make_values(honest_writes + 2, size=64)
+
+    def honest_load(cluster, start: int = 0) -> None:
+        for index in range(honest_writes):
+            cluster.write(1, TAG, f"hw{index}", values[index])
+        cluster.run()
+
+    # -- corrupted servers inflating their ts replies -----------------------
+    server_attacks = [
+        ("server-inflation", "atomic", 3 * t + 1,
+         lambda pid, cfg: InflatorServer(pid, cfg)),
+        ("server-inflation", "atomic_ns", 3 * t + 1,
+         lambda pid, cfg: InflatorNSServer(pid, cfg)),
+        ("server-inflation", "martin", 3 * t + 1,
+         lambda pid, cfg: MartinInflatorServer(pid, cfg)),
+        ("server-inflation", "bazzi_ding", 4 * t + 1,
+         lambda pid, cfg: MartinInflatorServer(pid, cfg)),
+    ]
+    for scenario, protocol, n, factory in server_attacks:
+        config = SystemConfig(n=n, t=t, seed=seed)
+        overrides = {index: factory for index in range(1, t + 1)}
+        cluster = build_cluster(config, protocol=protocol, num_clients=1,
+                                scheduler=RandomScheduler(seed),
+                                server_overrides=overrides)
+        honest_load(cluster)
+        outcomes.append(_outcome(scenario, protocol, cluster))
+
+    # -- corrupted client broadcasting a huge timestamp -----------------------
+    for protocol in ("atomic", "atomic_ns"):
+        config = SystemConfig(n=3 * t + 1, t=t, seed=seed)
+        cluster = build_cluster(
+            config, protocol=protocol, num_clients=2,
+            scheduler=RandomScheduler(seed),
+            client_overrides={2: lambda pid, cfg: SkippingWriter(pid, cfg)})
+        cluster.client(2).attack_write(TAG, "skip", values[honest_writes])
+        cluster.run()
+        honest_load(cluster)
+        outcomes.append(_outcome("client-skipping", protocol, cluster))
+
+    # -- corrupted client against Bazzi-Ding: store a huge ts directly --------
+    config = SystemConfig(n=4 * t + 1, t=t, seed=seed)
+    cluster = build_cluster(
+        config, protocol="bazzi_ding", num_clients=2,
+        scheduler=RandomScheduler(seed),
+        client_overrides={
+            2: lambda pid, cfg: SplitBrainMartinWriter(pid, cfg)})
+    cluster.client(2).attack_write(TAG, "skip", 10 ** 12,
+                                   [values[honest_writes]])
+    cluster.run()
+    honest_load(cluster)
+    outcomes.append(_outcome("client-skipping", "bazzi_ding", cluster))
+
+    # -- strongest AtomicNS client attack: replay a valid [ts, sig] pair ------
+    config = SystemConfig(n=3 * t + 1, t=t, seed=seed)
+    cluster = build_cluster(
+        config, protocol="atomic_ns", num_clients=2,
+        scheduler=RandomScheduler(seed),
+        client_overrides={
+            2: lambda pid, cfg: ReplayingNSWriter(pid, cfg)})
+    honest_load(cluster)
+    state = cluster.server(t + 1).register_state(TAG)
+    cluster.client(2).attack_write(TAG, "replay",
+                                   values[honest_writes + 1],
+                                   state.timestamp.ts, state.signature)
+    cluster.run()
+    outcomes.append(_outcome("client-replay", "atomic_ns", cluster))
+    return outcomes
+
+
+def render(outcomes: List[AttackOutcome]) -> str:
+    """Render result rows as the printable table."""
+    headers = ["scenario", "protocol", "effected writes", "max timestamp",
+               "non-skipping held"]
+    body = [[outcome.scenario, outcome.protocol, outcome.effected_writes,
+             outcome.max_timestamp,
+             "yes" if outcome.non_skipping else "NO (skipped)"]
+            for outcome in outcomes]
+    return render_table(headers, body,
+                        title="F4: timestamp growth under attack")
+
+
+def main() -> None:
+    """Run the experiment at default scale and print its table(s)."""
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Byzantine fault library: attack behaviours for servers and clients.
+
+Inject these into clusters via ``build_cluster(..., server_overrides=...,
+client_overrides=...)`` to exercise the resilience claims of the paper.
+"""
+
+from repro.faults.byzantine_clients import (
+    SKIP_TARGET,
+    ByzantineClientBase,
+    EquivocatingRbcWriter,
+    HalfWriter,
+    InconsistentDisperser,
+    PoisonousGoodsonWriter,
+    ReplayingNSWriter,
+    SkippingWriter,
+    SplitBrainMartinWriter,
+)
+from repro.faults.failstop import (
+    FailStopMartinServer,
+    FailStopNSServer,
+    FailStopServer,
+)
+from repro.faults.byzantine_servers import (
+    INFLATION,
+    AvidSpammerServer,
+    CrashServer,
+    EquivocatingReaderServer,
+    InflatorNSServer,
+    InflatorServer,
+    MartinInflatorServer,
+    StaleReaderServer,
+)
+
+__all__ = [
+    "SKIP_TARGET",
+    "ByzantineClientBase",
+    "EquivocatingRbcWriter",
+    "HalfWriter",
+    "InconsistentDisperser",
+    "PoisonousGoodsonWriter",
+    "ReplayingNSWriter",
+    "SkippingWriter",
+    "SplitBrainMartinWriter",
+    "FailStopMartinServer",
+    "FailStopNSServer",
+    "FailStopServer",
+    "INFLATION",
+    "AvidSpammerServer",
+    "CrashServer",
+    "EquivocatingReaderServer",
+    "InflatorNSServer",
+    "InflatorServer",
+    "MartinInflatorServer",
+    "StaleReaderServer",
+]

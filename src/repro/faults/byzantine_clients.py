@@ -1,0 +1,184 @@
+"""Byzantine client behaviours.
+
+The paper tolerates an *arbitrary number* of corrupted clients colluding
+with corrupted servers.  These classes implement the concrete attacks the
+paper discusses; harnesses call their ``attack_*`` methods (a Byzantine
+client is driven by the adversary, not by input actions) and then check
+that honest clients' views stay atomic, live, and — for AtomicNS — that
+timestamps stay non-skipping.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+from repro.avid.disperse import MSG_SEND as AVID_SEND
+from repro.avid.disperse import disperse
+from repro.baselines.goodson import _cross_checksum
+from repro.broadcast.reliable import r_broadcast
+from repro.common.ids import PartyId
+from repro.config import SystemConfig
+from repro.core.atomic import AtomicClient, disp_tag, rbc_tag
+from repro.core.atomic_ns import AtomicNSClient
+from repro.core.timestamps import Timestamp
+from repro.crypto.hashing import hash_bytes
+from repro.erasure.coder import ErasureCoder
+from repro.net.process import Process
+
+#: Timestamp value a skipping writer tries to jump to.
+SKIP_TARGET = 10 ** 12
+
+
+class ByzantineClientBase(Process):
+    """Common plumbing: a corrupted client with raw channel access."""
+
+    def __init__(self, pid: PartyId, config: SystemConfig):
+        super().__init__(pid)
+        self.config = config
+
+
+class SkippingWriter(ByzantineClientBase):
+    """Writes a (consistent) value but broadcasts an enormous timestamp.
+
+    Against Protocol Atomic the write takes effect with timestamp
+    ``SKIP_TARGET + 1`` — timestamps skip.  Against Protocol AtomicNS the
+    client cannot produce a valid threshold signature on ``SKIP_TARGET``,
+    so no honest server ever accepts the write.
+    """
+
+    def attack_write(self, tag: str, oid: str, value: bytes,
+                     forged_signature: Any = None) -> None:
+        """Mount the skipping write: disperse ``value``, broadcast the huge timestamp (with ``forged_signature`` in the AtomicNS format)."""
+        disperse(self, disp_tag(tag, oid), value, self.config)
+        if forged_signature is None:
+            broadcast_value: Any = SKIP_TARGET  # Protocol Atomic format
+        else:
+            broadcast_value = (SKIP_TARGET, forged_signature)
+        r_broadcast(self, rbc_tag(tag, oid), broadcast_value)
+
+
+class ReplayingNSWriter(ByzantineClientBase):
+    """The strongest timestamp attack available against AtomicNS: replay a
+    *valid* ``[ts, σ]`` pair observed earlier.  The accepted timestamp is
+    then ``ts + 1 <=`` (number of writes so far) ``+ 1`` — non-skipping by
+    Lemma 7."""
+
+    def attack_write(self, tag: str, oid: str, value: bytes, ts: int,
+                     signature: Any) -> None:
+        """Replay a previously observed valid ``[ts, signature]`` pair with a fresh dispersal."""
+        disperse(self, disp_tag(tag, oid), value, self.config)
+        r_broadcast(self, rbc_tag(tag, oid), (ts, signature))
+
+
+class InconsistentDisperser(ByzantineClientBase):
+    """Attempts to store blocks that are *not* the encoding of any value.
+
+    The commitment honestly commits to the garbage blocks (each block
+    verifies individually), but the vector fails the servers' decode/
+    re-encode consistency check, so no honest server ever sends ``ready``
+    — the dispersal never completes and the write never takes effect.
+    This is the attack that read-time-validation designs (Goodson et al.)
+    pay for at every subsequent read.
+    """
+
+    def attack_write(self, tag: str, oid: str, values: Sequence[bytes],
+                     ts: int = 0) -> None:
+        """Mix the encodings of several values: server ``j`` gets block
+        ``j`` of ``values[j % len(values)]``."""
+        coder = self.config.coder
+        encodings = [coder.encode(value) for value in values]
+        blocks = [encodings[j % len(encodings)][j]
+                  for j in range(self.config.n)]
+        commitment, witnesses = self.config.commitment_scheme.commit(blocks)
+        instance = disp_tag(tag, oid)
+        for index, server in enumerate(self.simulator.server_pids, start=1):
+            self.send(server, instance, AVID_SEND, commitment,
+                      blocks[index - 1], witnesses[index - 1])
+        r_broadcast(self, rbc_tag(tag, oid), ts)
+
+
+class HalfWriter(ByzantineClientBase):
+    """Sends the dispersal to only ``count`` servers (default ``t + 1``)
+    while broadcasting the timestamp properly.
+
+    If no honest server completes, the write simply never takes effect; if
+    one does, AVID agreement guarantees all honest servers eventually
+    complete, so reads never block on a half-written value.
+    """
+
+    def attack_write(self, tag: str, oid: str, value: bytes, ts: int = 0,
+                     count: Optional[int] = None) -> None:
+        """Disperse ``value`` to only the first ``count`` servers while broadcasting ``ts`` to all."""
+        coder = self.config.coder
+        blocks = coder.encode(value)
+        commitment, witnesses = self.config.commitment_scheme.commit(blocks)
+        count = self.config.t + 1 if count is None else count
+        instance = disp_tag(tag, oid)
+        for index, server in enumerate(self.simulator.server_pids, start=1):
+            if index > count:
+                break
+            self.send(server, instance, AVID_SEND, commitment,
+                      blocks[index - 1], witnesses[index - 1])
+        r_broadcast(self, rbc_tag(tag, oid), ts)
+
+
+class EquivocatingRbcWriter(ByzantineClientBase):
+    """Sends different timestamps of the same broadcast instance to
+    different servers.  Reliable-broadcast agreement guarantees honest
+    servers never r-deliver different values."""
+
+    def attack_write(self, tag: str, oid: str, value: bytes,
+                     timestamps: Sequence[int]) -> None:
+        """Disperse ``value`` honestly but send conflicting broadcast timestamps to different servers."""
+        disperse(self, disp_tag(tag, oid), value, self.config)
+        instance = rbc_tag(tag, oid)
+        for index, server in enumerate(self.simulator.server_pids):
+            self.send(server, instance, "rbc-send",
+                      timestamps[index % len(timestamps)])
+
+
+class SplitBrainMartinWriter(ByzantineClientBase):
+    """The Byzantine-client attack on replication-based SBQ-L: store a
+    *different* value at every server under the same timestamp.
+
+    No read quorum can ever assemble ``n - t`` matching replies for that
+    timestamp — the register is wedged for any read that must return it.
+    Protocol Atomic's verifiable dispersal makes this attack unmountable.
+    """
+
+    def attack_write(self, tag: str, oid: str, ts: int,
+                     values: Sequence[bytes]) -> None:
+        """Store the attack payload at every server under ``Timestamp(ts, oid)``."""
+        timestamp = Timestamp(ts, oid)
+        for index, server in enumerate(self.simulator.server_pids):
+            self.send(server, tag, "store", oid, timestamp,
+                      values[index % len(values)])
+
+
+class PoisonousGoodsonWriter(ByzantineClientBase):
+    """Writes poisonous versions to a Goodson et al. deployment: fragments
+    whose cross-checksum is internally consistent per fragment but does
+    not correspond to the encoding of any value.
+
+    Servers store them unquestioningly (no write-time validation); every
+    subsequent read must fetch, attempt to decode, fail the re-encoding
+    check, and roll back — one round trip per poisonous version
+    (experiment F6)."""
+
+    def __init__(self, pid: PartyId, config: SystemConfig):
+        super().__init__(pid, config)
+        from repro.baselines.goodson import goodson_fragment_threshold
+        self._coder = ErasureCoder(config.n,
+                                   goodson_fragment_threshold(config))
+
+    def attack_write(self, tag: str, oid: str, ts: int,
+                     values: Sequence[bytes]) -> None:
+        """Store the attack payload at every server under ``Timestamp(ts, oid)``."""
+        encodings = [self._coder.encode(value) for value in values]
+        fragments = [encodings[j % len(encodings)][j]
+                     for j in range(self.config.n)]
+        checksum = _cross_checksum(fragments)
+        timestamp = Timestamp(ts, oid)
+        for index, server in enumerate(self.simulator.server_pids, start=1):
+            self.send(server, tag, "store", oid, timestamp,
+                      fragments[index - 1], checksum)

@@ -1,0 +1,147 @@
+"""Byzantine server behaviours.
+
+Corrupted servers run arbitrary code but hold only their own key material
+and channels — modeled here as subclasses of the honest server classes (a
+corrupted party starts from the honest code and deviates).  Up to ``t`` of
+these can be injected into a cluster via ``server_overrides``; Theorem 2
+says every experiment below must leave liveness and atomicity intact.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Tuple
+
+from repro.baselines.martin import MartinServer
+from repro.common.ids import PartyId
+from repro.config import SystemConfig
+from repro.core.atomic import MSG_VALUE, AtomicServer, _RegisterState
+from repro.core.atomic_ns import AtomicNSServer
+from repro.core.timestamps import INITIAL_TIMESTAMP, Timestamp
+from repro.net.message import Message
+from repro.net.process import Process
+
+#: Timestamp offset used by inflation attacks (far beyond any write count).
+INFLATION = 10 ** 12
+
+
+class CrashServer(Process):
+    """A server that is silent from the start (crash/omission faults are a
+    special case of Byzantine faults)."""
+
+    def __init__(self, pid: PartyId, config: SystemConfig,
+                 initial_value: bytes = b""):
+        super().__init__(pid)
+        self.config = config
+
+    def receive(self, message: Message) -> None:
+        self.inbox.add(message)  # reads its buffer, does nothing
+
+
+class InflatorServer(AtomicServer):
+    """Protocol Atomic server that reports absurdly large timestamps.
+
+    Against Protocol Atomic this *succeeds* in making honest writers skip
+    timestamp values (the attack motivating Section 3.4): the writer takes
+    the maximum of its replies and one lying server controls the maximum.
+    """
+
+    def _ts_reply(self, state: _RegisterState) -> Tuple[Any, ...]:
+        return (state.timestamp.ts + INFLATION,)
+
+
+class InflatorNSServer(AtomicNSServer):
+    """Protocol AtomicNS server attempting the same inflation.
+
+    It cannot forge a threshold signature on the inflated value, so it
+    replays its stored signature — which verifies only for the stored
+    timestamp, so honest writers discard the reply and non-skipping holds.
+    """
+
+    def _ts_reply(self, state: _RegisterState) -> Tuple[Any, ...]:
+        return (state.timestamp.ts + INFLATION, state.signature)
+
+
+class MartinInflatorServer(MartinServer):
+    """SBQ-L server reporting inflated timestamps (always succeeds —
+    there is no authentication to stop it)."""
+
+    def _on_get_ts(self, message: Message) -> None:
+        if len(message.payload) != 1:
+            return
+        (oid,) = message.payload
+        state = self.register_state(message.tag)
+        self.send(message.sender, message.tag, "ts", oid,
+                  state.timestamp.ts + INFLATION)
+
+
+class EquivocatingReaderServer(AtomicServer):
+    """Serves garbage ``value`` messages to readers: corrupted blocks under
+    the real commitment and fabricated commitments with huge timestamps.
+
+    Readers must discard both (block validation, quorum grouping); reads
+    terminate via the ``n - t`` honest servers.
+    """
+
+    def _on_read(self, message: Message) -> None:
+        if len(message.payload) != 1:
+            return
+        (oid,) = message.payload
+        state = self.register_state(message.tag)
+        corrupted = bytes(byte ^ 0xFF for byte in state.block) or b"\x00"
+        self.send(message.sender, message.tag, MSG_VALUE, oid,
+                  state.commitment, corrupted, state.witness,
+                  state.timestamp)
+        bogus = Timestamp(state.timestamp.ts + INFLATION, "bogus")
+        self.send(message.sender, message.tag, MSG_VALUE, oid,
+                  state.commitment, state.block, state.witness, bogus)
+
+
+class StaleReaderServer(AtomicServer):
+    """Answers reads with the initial value forever (stale replies).
+
+    A single stale server cannot form a quorum group, so readers still
+    return fresh values."""
+
+    def _on_read(self, message: Message) -> None:
+        if len(message.payload) != 1:
+            return
+        (oid,) = message.payload
+        state = self.register_state(message.tag)
+        if not state.listeners.add(oid, state.timestamp, message.sender):
+            return
+        # Reply with whatever this server held at initialization.
+        blocks = self.config.coder.encode(b"")
+        commitment, witnesses = self.config.commitment_scheme.commit(blocks)
+        index = self.pid.index
+        self.send(message.sender, message.tag, MSG_VALUE, oid, commitment,
+                  blocks[index - 1], witnesses[index - 1],
+                  INITIAL_TIMESTAMP)
+
+
+class AvidSpammerServer(AtomicServer):
+    """On top of otherwise-honest behaviour, floods the dispersal substrate
+    with invalid echoes and readys for every instance it hears about.
+
+    Tests robustness of the AVID quorum logic: invalid blocks are dropped
+    at verification, and ``2t + 1`` readys for a fabricated commitment can
+    never be reached with only ``t`` spammers."""
+
+    def __init__(self, pid: PartyId, config: SystemConfig,
+                 initial_value: bytes = b""):
+        super().__init__(pid, config, initial_value)
+        self._rng = random.Random(pid.index)
+        self.on("avid-send", self._spam)
+        self.on("avid-echo", self._spam)
+
+    def _spam(self, message: Message) -> None:
+        garbage = bytes(self._rng.getrandbits(8) for _ in range(8))
+        fake_commitment = tuple(
+            bytes(self._rng.getrandbits(8) for _ in range(32))
+            for _ in range(self.config.n))
+        client = message.payload[1] if len(message.payload) > 1 and \
+            isinstance(message.payload[1], PartyId) else self.pid
+        self.send_to_servers(message.tag, "avid-echo", fake_commitment,
+                             client, garbage, None)
+        self.send_to_servers(message.tag, "avid-ready", fake_commitment,
+                             client, garbage, None)

@@ -1,0 +1,71 @@
+"""Fail-stop faults at arbitrary protocol points.
+
+A crash is a special case of a Byzantine fault, but *when* the crash
+happens matters: a server that dies between its ``echo`` and its
+``ready``, or after signing a share but before forwarding a value to a
+listener, exercises completely different recovery paths than one that
+was dead from the start.  :class:`FailStopServer` behaves honestly for
+its first ``crash_after`` message deliveries and then goes permanently
+silent — sweeping ``crash_after`` over a run tests liveness at *every*
+crash point (see ``tests/test_failstop.py``).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.martin import MartinServer
+from repro.common.ids import PartyId
+from repro.config import SystemConfig
+from repro.core.atomic import AtomicServer
+from repro.core.atomic_ns import AtomicNSServer
+from repro.net.message import Message
+
+
+class _FailStopMixin:
+    """Honest behaviour for ``crash_after`` deliveries, then silence.
+
+    After the crash point, received messages are still buffered (the
+    paper's model always delivers) but never processed, and the parked
+    threads never resume — exactly a fail-stop party.
+    """
+
+    def _init_failstop(self, crash_after: int) -> None:
+        self._crash_after = crash_after
+        self._delivered = 0
+
+    @property
+    def crashed(self) -> bool:
+        return self._delivered >= self._crash_after
+
+    def receive(self, message: Message) -> None:  # type: ignore[override]
+        if self.crashed:
+            self.inbox.add(message)
+            return
+        self._delivered += 1
+        super().receive(message)
+
+
+class FailStopServer(_FailStopMixin, AtomicServer):
+    """Protocol Atomic server that crashes after N deliveries."""
+
+    def __init__(self, pid: PartyId, config: SystemConfig,
+                 initial_value: bytes = b"", crash_after: int = 0):
+        super().__init__(pid, config, initial_value)
+        self._init_failstop(crash_after)
+
+
+class FailStopNSServer(_FailStopMixin, AtomicNSServer):
+    """Protocol AtomicNS server that crashes after N deliveries."""
+
+    def __init__(self, pid: PartyId, config: SystemConfig,
+                 initial_value: bytes = b"", crash_after: int = 0):
+        super().__init__(pid, config, initial_value)
+        self._init_failstop(crash_after)
+
+
+class FailStopMartinServer(_FailStopMixin, MartinServer):
+    """SBQ-L server that crashes after N deliveries."""
+
+    def __init__(self, pid: PartyId, config: SystemConfig,
+                 initial_value: bytes = b"", crash_after: int = 0):
+        super().__init__(pid, config, initial_value)
+        self._init_failstop(crash_after)

@@ -1,0 +1,72 @@
+"""Per-process input buffer, queryable by wait-state conditions.
+
+The paper's parties enter wait states whose conditions are predicates over
+the received messages in the input buffer (e.g. "wait for ``n - t``
+messages ``(ID, ack, oid)`` from distinct servers").  :class:`Inbox` stores
+everything a process has received, indexed by ``(tag, mtype)``, and offers
+the query helpers those conditions need.
+
+Byzantine parties may send the same message many times; quorum conditions
+therefore always count *distinct senders*, mirroring the proofs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.common.ids import PartyId
+from repro.net.message import Message
+
+Predicate = Callable[[Message], bool]
+
+
+class Inbox:
+    """All messages a process has received, grouped by ``(tag, mtype)``."""
+
+    def __init__(self) -> None:
+        self._by_key: Dict[Tuple[str, str], List[Message]] = defaultdict(list)
+        self._count = 0
+
+    def add(self, message: Message) -> None:
+        """Buffer a delivered message."""
+        self._by_key[(message.tag, message.mtype)].append(message)
+        self._count += 1
+
+    def __len__(self) -> int:
+        return self._count
+
+    def messages(self, tag: str, mtype: str,
+                 where: Optional[Predicate] = None) -> List[Message]:
+        """All received messages with this tag and type, oldest first."""
+        found = self._by_key.get((tag, mtype), [])
+        if where is None:
+            return list(found)
+        return [message for message in found if where(message)]
+
+    def senders(self, tag: str, mtype: str,
+                where: Optional[Predicate] = None) -> Set[PartyId]:
+        """Distinct senders of matching messages."""
+        return {message.sender
+                for message in self.messages(tag, mtype, where)}
+
+    def count_distinct(self, tag: str, mtype: str,
+                       where: Optional[Predicate] = None) -> int:
+        """Number of distinct senders of matching messages."""
+        return len(self.senders(tag, mtype, where))
+
+    def first_per_sender(self, tag: str, mtype: str,
+                         where: Optional[Predicate] = None) -> List[Message]:
+        """The earliest matching message from each distinct sender.
+
+        Quorum conditions that then *use* the message contents (e.g. "the
+        maximum timestamp among ``n - t`` received ``ts`` messages") take
+        one message per sender so a Byzantine flood cannot pad a quorum.
+        """
+        seen: Set[PartyId] = set()
+        result: List[Message] = []
+        for message in self.messages(tag, mtype, where):
+            if message.sender not in seen:
+                seen.add(message.sender)
+                result.append(message)
+        return result

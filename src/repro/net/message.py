@@ -1,0 +1,79 @@
+"""Protocol messages and local events.
+
+The paper (Section 2.1) distinguishes *local events* — input actions
+``(ID, in, type, ...)`` and output actions ``(ID, out, type, ...)`` — from
+ordinary protocol messages ``(ID, type, ...)`` delivered to other parties.
+Here protocol messages are :class:`Message` values routed through the
+simulator, and local events are :class:`LocalEvent` records appended to the
+global event log (the paper's implicit global clock).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+from repro.common.ids import PartyId
+from repro.common.serialization import encoded_size
+
+
+@dataclass(frozen=True)
+class Message:
+    """A protocol message ``(ID, type, ...)`` in flight or delivered.
+
+    ``sender`` is set by the channel layer, never by the sending code, so
+    Byzantine processes cannot spoof origins (the secure-channel
+    authenticity assumption of the model).
+
+    ``depth`` is the message's causal depth: one more than the depth of
+    the delivery that triggered its send (0 for sends from fresh client
+    invocations).  Since every message in the simulator takes one
+    "network delay", the depth at which an operation completes is its
+    latency in message rounds — the standard round-trip cost measure for
+    asynchronous protocols.
+    """
+
+    tag: str
+    mtype: str
+    sender: PartyId
+    recipient: PartyId
+    payload: Tuple[Any, ...]
+    msg_id: int
+    depth: int = 0
+
+    def wire_size(self) -> int:
+        """Bytes on the wire: canonical encoding of (tag, type, payload).
+
+        Sender and recipient are channel addressing, not payload, so they
+        are excluded — matching how the paper counts communication
+        complexity (bit length of messages associated to an instance).
+        """
+        return encoded_size((self.tag, self.mtype, self.payload))
+
+    def __str__(self) -> str:  # compact form for traces
+        return (f"{self.sender}->{self.recipient} "
+                f"({self.tag}, {self.mtype}, ...{len(self.payload)})")
+
+
+#: Kinds of entries in the global event log.
+EVENT_INPUT = "in"
+EVENT_OUTPUT = "out"
+EVENT_DELIVER = "deliver"
+
+
+@dataclass(frozen=True)
+class LocalEvent:
+    """An entry of the global event log, stamped with the logical time.
+
+    ``kind`` is one of :data:`EVENT_INPUT`, :data:`EVENT_OUTPUT` or
+    :data:`EVENT_DELIVER`.  Input/output events carry the paper's action
+    type (``write``, ``read``, ``ack``, ``write-accepted``, ...) in
+    ``action`` and the action parameters in ``payload``.
+    """
+
+    time: int
+    party: PartyId
+    kind: str
+    tag: str
+    action: str
+    payload: Tuple[Any, ...]

@@ -1,0 +1,131 @@
+"""Message-delivery schedulers: the adversary's control over asynchrony.
+
+In the model, the adversary schedules message delivery arbitrarily, subject
+only to *eventual delivery* (every run is complete).  A scheduler picks
+which in-flight message the simulator delivers next; since schedulers can
+only choose among pending messages and the simulator runs until the pending
+set drains, eventual delivery holds for every scheduler here by
+construction.
+
+Deterministic seeds make every schedule reproducible, so a failing schedule
+found by a property test can be replayed exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional, Sequence
+
+from repro.net.message import Message
+
+
+class Scheduler:
+    """Strategy interface: choose the index of the next message."""
+
+    def choose(self, pending: Sequence[Message]) -> int:
+        """Return the index (into ``pending``) of the message to deliver
+        next; the simulator pops and delivers it."""
+        raise NotImplementedError
+
+
+class FifoScheduler(Scheduler):
+    """Deliver messages in global send order (the 'synchronous-looking'
+    schedule; useful as a baseline and for debugging)."""
+
+    def choose(self, pending: Sequence[Message]) -> int:
+        return 0
+
+
+class RandomScheduler(Scheduler):
+    """Deliver a uniformly random pending message (asynchrony with
+    arbitrary reordering).  Deterministic given the seed."""
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+
+    def choose(self, pending: Sequence[Message]) -> int:
+        return self._rng.randrange(len(pending))
+
+
+class PriorityScheduler(Scheduler):
+    """Adversarial scheduler: starve messages matching ``deprioritize``.
+
+    Matching messages are delivered only when nothing else is pending, which
+    models an adversary that delays a victim's traffic as long as the
+    network allows while still satisfying eventual delivery.
+    """
+
+    def __init__(self, deprioritize: Callable[[Message], bool],
+                 seed: int = 0):
+        self._deprioritize = deprioritize
+        self._rng = random.Random(seed)
+
+    def choose(self, pending: Sequence[Message]) -> int:
+        preferred = [index for index, message in enumerate(pending)
+                     if not self._deprioritize(message)]
+        if preferred:
+            return preferred[self._rng.randrange(len(preferred))]
+        return self._rng.randrange(len(pending))
+
+
+class SlowPartiesScheduler(PriorityScheduler):
+    """Starve all traffic to and from a set of victim parties."""
+
+    def __init__(self, slow_parties, seed: int = 0):
+        slow = set(slow_parties)
+
+        def is_slow(message: Message) -> bool:
+            return message.sender in slow or message.recipient in slow
+
+        super().__init__(is_slow, seed=seed)
+
+
+class PartitionScheduler(Scheduler):
+    """A temporary network partition that later heals.
+
+    Until ``heal_after`` delivery decisions have been made, messages
+    crossing the partition (between ``group`` and its complement) are
+    starved; afterwards the network behaves like a seeded random
+    scheduler.  Eventual delivery still holds — the partition is
+    transient, as the model requires (a permanent partition would violate
+    run completeness).
+    """
+
+    def __init__(self, group, heal_after: int, seed: int = 0):
+        self._group = set(group)
+        self._heal_after = heal_after
+        self._decisions = 0
+        self._rng = random.Random(seed)
+
+    @property
+    def healed(self) -> bool:
+        return self._decisions >= self._heal_after
+
+    def _crosses(self, message: Message) -> bool:
+        return (message.sender in self._group) != \
+            (message.recipient in self._group)
+
+    def choose(self, pending: Sequence[Message]) -> int:
+        self._decisions += 1
+        if not self.healed:
+            within = [index for index, message in enumerate(pending)
+                      if not self._crosses(message)]
+            if within:
+                return within[self._rng.randrange(len(within))]
+        return self._rng.randrange(len(pending))
+
+
+def make_scheduler(name: str, seed: int = 0,
+                   deprioritize: Optional[Callable[[Message], bool]] = None
+                   ) -> Scheduler:
+    """Factory used by experiment configs: ``fifo``, ``random``, or
+    ``priority`` (requires ``deprioritize``)."""
+    if name == "fifo":
+        return FifoScheduler()
+    if name == "random":
+        return RandomScheduler(seed)
+    if name == "priority":
+        if deprioritize is None:
+            raise ValueError("priority scheduler needs a deprioritize rule")
+        return PriorityScheduler(deprioritize, seed)
+    raise ValueError(f"unknown scheduler {name!r}")

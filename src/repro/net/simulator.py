@@ -1,0 +1,222 @@
+"""The asynchronous network simulator (the paper's system model).
+
+A :class:`Simulator` owns a set of party processes, a bag of in-flight
+messages, and a :class:`~repro.net.schedulers.Scheduler` playing the
+adversary's role of choosing delivery order.  Each delivery activates the
+recipient, which runs its threads to quiescence (see
+:mod:`repro.net.process`); the interleaving of activations defines the
+logical global clock — no two events share a point in time.
+
+Every run is *complete*: :meth:`run` keeps delivering until no message is
+in flight, so every message sent between honest parties is eventually
+delivered, exactly as the model requires.  A step bound guards against
+protocols that generate traffic forever (a bug, or a Byzantine flood that
+experiments cap explicitly).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import SimulationError
+from repro.common.ids import PartyId
+from repro.net.message import (
+    EVENT_DELIVER,
+    EVENT_INPUT,
+    EVENT_OUTPUT,
+    LocalEvent,
+    Message,
+)
+from repro.net.metrics import Metrics
+from repro.net.process import Process
+from repro.net.schedulers import FifoScheduler, Scheduler
+
+OutputObserver = Callable[[LocalEvent], None]
+
+
+class Simulator:
+    """Event-driven simulation of the asynchronous message-passing model.
+
+    Parameters
+    ----------
+    scheduler:
+        Delivery-order strategy (defaults to FIFO).  Pass a seeded
+        :class:`~repro.net.schedulers.RandomScheduler` for adversarial
+        reorderings.
+    record_deliveries:
+        Also log every message delivery in the event log (memory-heavy;
+        off by default — input/output actions are always logged).
+    """
+
+    def __init__(self, scheduler: Optional[Scheduler] = None,
+                 record_deliveries: bool = False):
+        self.scheduler = scheduler or FifoScheduler()
+        self.metrics = Metrics()
+        self.event_log: List[LocalEvent] = []
+        self.time = 0
+        self._processes: Dict[PartyId, Process] = {}
+        self._server_pids: List[PartyId] = []
+        self._pending: List[Message] = []
+        self._next_msg_id = 0
+        self._record_deliveries = record_deliveries
+        self._output_observers: List[OutputObserver] = []
+        self._invariants: List[Callable[["Simulator"], None]] = []
+
+    # -- topology -----------------------------------------------------------
+
+    def add_process(self, process: Process) -> Process:
+        """Attach a party to the network; returns it for chaining."""
+        if process.pid in self._processes:
+            raise SimulationError(f"duplicate party {process.pid}")
+        self._processes[process.pid] = process
+        if process.pid.is_server:
+            self._server_pids.append(process.pid)
+            self._server_pids.sort()
+        process.bind(self)
+        return process
+
+    @property
+    def server_pids(self) -> List[PartyId]:
+        """All server identities, in index order."""
+        return list(self._server_pids)
+
+    def process(self, pid: PartyId) -> Process:
+        """Look up a party by identity."""
+        try:
+            return self._processes[pid]
+        except KeyError:
+            raise SimulationError(f"unknown party {pid}") from None
+
+    @property
+    def processes(self) -> List[Process]:
+        return list(self._processes.values())
+
+    # -- messaging ------------------------------------------------------------
+
+    def enqueue(self, sender: PartyId, recipient: PartyId, tag: str,
+                mtype: str, payload: Tuple[Any, ...]) -> None:
+        """Called by processes to send; the message joins the in-flight bag.
+
+        The sender identity comes from the calling process, so origins are
+        authenticated (secure channels).  Unknown recipients are an error —
+        the topology is fixed before the run.
+        """
+        if recipient not in self._processes:
+            raise SimulationError(f"message to unknown party {recipient}")
+        sender_process = self._processes.get(sender)
+        depth = sender_process.activation_depth + 1 \
+            if sender_process is not None else 1
+        message = Message(tag=tag, mtype=mtype, sender=sender,
+                          recipient=recipient, payload=payload,
+                          msg_id=self._next_msg_id, depth=depth)
+        self._next_msg_id += 1
+        self._pending.append(message)
+        self.metrics.record(message)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    # -- event log --------------------------------------------------------------
+
+    def _tick(self) -> int:
+        self.time += 1
+        return self.time
+
+    def record_input(self, party: PartyId, tag: str, action: str,
+                     payload: Tuple[Any, ...]) -> LocalEvent:
+        """Log an input action ``(tag, in, action, ...)`` at a party."""
+        event = LocalEvent(self._tick(), party, EVENT_INPUT, tag, action,
+                           payload)
+        self.event_log.append(event)
+        return event
+
+    def record_output(self, party: PartyId, tag: str, action: str,
+                      payload: Tuple[Any, ...]) -> LocalEvent:
+        """Log an output action and notify output observers."""
+        event = LocalEvent(self._tick(), party, EVENT_OUTPUT, tag, action,
+                           payload)
+        self.event_log.append(event)
+        for observer in self._output_observers:
+            observer(event)
+        return event
+
+    def add_output_observer(self, observer: OutputObserver) -> None:
+        """Subscribe to output actions (used by clients' operation handles
+        and by history recorders)."""
+        self._output_observers.append(observer)
+
+    def add_invariant(self, check: Callable[["Simulator"], None]) -> None:
+        """Register a global invariant, re-checked after every delivery.
+
+        ``check(simulator)`` should raise (e.g. ``AssertionError``) on
+        violation.  Invariant hooks make safety properties *continuously*
+        checkable in tests, not just at quiescence — a violation is
+        caught at the exact delivery that introduced it.
+        """
+        self._invariants.append(check)
+
+    # -- execution -----------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Deliver one message chosen by the scheduler.
+
+        Returns ``False`` when nothing is in flight.
+        """
+        if not self._pending:
+            return False
+        index = self.scheduler.choose(self._pending)
+        if not 0 <= index < len(self._pending):
+            raise SimulationError("scheduler chose an invalid message")
+        message = self._pending.pop(index)
+        self._tick()
+        if self._record_deliveries:
+            self.event_log.append(LocalEvent(
+                self.time, message.recipient, EVENT_DELIVER, message.tag,
+                message.mtype, message.payload))
+        self._processes[message.recipient].receive(message)
+        for check in self._invariants:
+            check(self)
+        return True
+
+    def run(self, max_steps: int = 1_000_000) -> int:
+        """Deliver messages until quiescence; returns the step count.
+
+        Raises :class:`SimulationError` if the bound is hit — protocols in
+        this library quiesce, so hitting the bound means a bug or an
+        unbounded Byzantine flood that the experiment should cap itself.
+        """
+        steps = 0
+        while self._pending:
+            if steps >= max_steps:
+                raise SimulationError(
+                    f"no quiescence after {max_steps} deliveries")
+            self.step()
+            steps += 1
+        return steps
+
+    def run_until(self, predicate: Callable[[], bool],
+                  max_steps: int = 1_000_000) -> int:
+        """Deliver messages until ``predicate()`` holds (checked after each
+        delivery) or quiescence; returns steps taken.
+
+        Raises :class:`SimulationError` if the bound is exhausted first.
+        """
+        steps = 0
+        while not predicate():
+            if not self._pending:
+                return steps
+            if steps >= max_steps:
+                raise SimulationError(
+                    f"predicate unsatisfied after {max_steps} deliveries")
+            self.step()
+            steps += 1
+        return steps
+
+    # -- measurements ---------------------------------------------------------------
+
+    def storage_bytes(self) -> int:
+        """Total storage complexity across all servers."""
+        return sum(process.storage_bytes()
+                   for process in self._processes.values()
+                   if process.pid.is_server)

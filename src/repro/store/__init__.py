@@ -1,0 +1,19 @@
+"""Application layer: a BFT object store as an array of atomic registers."""
+
+from repro.store.blobstore import (
+    DEFAULT_CHUNK_SIZE,
+    BlobNotFound,
+    BlobStat,
+    BlobStore,
+    BlobStoreError,
+    ConcurrentUpdate,
+)
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "BlobNotFound",
+    "BlobStat",
+    "BlobStore",
+    "BlobStoreError",
+    "ConcurrentUpdate",
+]

@@ -1,0 +1,10 @@
+"""Workload generation for concurrency and complexity experiments."""
+
+from repro.workloads.generator import (
+    WorkloadOp,
+    make_values,
+    random_workload,
+    run_workload,
+)
+
+__all__ = ["WorkloadOp", "make_values", "random_workload", "run_workload"]

@@ -1,0 +1,109 @@
+"""Workload generation: concurrent read/write schedules.
+
+Produces operation mixes and drives them into a cluster with operations
+*invoked at random points of the delivery schedule*, so reads and writes
+overlap arbitrarily — the concurrency that atomicity (and the listeners
+mechanism) must withstand.  All generation is seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster import Cluster
+from repro.common.errors import LivenessError, SimulationError
+from repro.core.register import KIND_READ, KIND_WRITE, OperationHandle
+
+
+@dataclass(frozen=True)
+class WorkloadOp:
+    """One operation to invoke: which client, what, and with which value."""
+
+    client_index: int
+    kind: str
+    oid: str
+    value: Optional[bytes] = None
+
+
+def make_values(count: int, size: int = 64,
+                prefix: bytes = b"value") -> List[bytes]:
+    """``count`` distinct values of exactly ``size`` bytes (unique values
+    are what lets the atomicity checker map reads to writes)."""
+    width = len(str(max(count - 1, 0)))
+    values = []
+    for index in range(count):
+        header = prefix + b"-" + str(index).zfill(width).encode()
+        if len(header) > size:
+            raise ValueError(f"value size {size} too small for labels")
+        values.append(header.ljust(size, b"."))
+    return values
+
+
+def random_workload(num_clients: int, writes: int, reads: int,
+                    seed: int = 0, value_size: int = 64) -> List[WorkloadOp]:
+    """A shuffled mix of ``writes`` writes and ``reads`` reads spread over
+    clients ``1..num_clients`` (every write has a distinct value)."""
+    rng = random.Random(seed)
+    values = make_values(writes, size=value_size)
+    operations = [
+        WorkloadOp(client_index=rng.randrange(num_clients) + 1,
+                   kind=KIND_WRITE, oid=f"w{index}", value=values[index])
+        for index in range(writes)
+    ]
+    operations += [
+        WorkloadOp(client_index=rng.randrange(num_clients) + 1,
+                   kind=KIND_READ, oid=f"r{index}")
+        for index in range(reads)
+    ]
+    rng.shuffle(operations)
+    return operations
+
+
+def run_workload(cluster: Cluster, tag: str,
+                 operations: Sequence[WorkloadOp], seed: int = 0,
+                 invoke_probability: float = 0.1,
+                 max_steps: int = 2_000_000,
+                 require_done: bool = True
+                 ) -> Dict[str, OperationHandle]:
+    """Drive ``operations`` into the cluster with random interleaving.
+
+    At each step, either the next operation is invoked (with
+    ``invoke_probability``) or one pending message is delivered; once all
+    operations are invoked, remaining traffic drains to quiescence.
+    Returns handles by operation identifier; with ``require_done`` every
+    operation must have terminated (wait-freedom), else
+    :class:`LivenessError` is raised.
+    """
+    rng = random.Random(seed)
+    handles: Dict[str, OperationHandle] = {}
+    queue = list(operations)
+    steps = 0
+    simulator = cluster.simulator
+    while queue or simulator.pending_count:
+        steps += 1
+        if steps > max_steps:
+            raise SimulationError(
+                f"workload did not quiesce within {max_steps} steps")
+        invoke_next = queue and (
+            not simulator.pending_count
+            or rng.random() < invoke_probability)
+        if invoke_next:
+            operation = queue.pop(0)
+            client = cluster.client(operation.client_index)
+            if operation.kind == KIND_WRITE:
+                handles[operation.oid] = client.invoke_write(
+                    tag, operation.oid, operation.value)
+            else:
+                handles[operation.oid] = client.invoke_read(
+                    tag, operation.oid)
+        else:
+            simulator.step()
+    if require_done:
+        for oid, handle in handles.items():
+            if not handle.done:
+                raise LivenessError(
+                    f"operation {oid} did not terminate under the "
+                    f"generated schedule")
+    return handles

@@ -1,0 +1,35 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.config import SystemConfig
+from repro.net.schedulers import RandomScheduler
+
+
+@pytest.fixture
+def config41() -> SystemConfig:
+    """Minimal optimal-resilience deployment: n=4, t=1."""
+    return SystemConfig(n=4, t=1)
+
+
+@pytest.fixture
+def config72() -> SystemConfig:
+    """n=7, t=2 deployment."""
+    return SystemConfig(n=7, t=2)
+
+
+@pytest.fixture
+def atomic_cluster(config41):
+    """A ready-to-use Protocol Atomic cluster with two clients."""
+    return build_cluster(config41, protocol="atomic", num_clients=2,
+                         scheduler=RandomScheduler(1))
+
+
+@pytest.fixture
+def atomic_ns_cluster(config41):
+    """A ready-to-use Protocol AtomicNS cluster with two clients."""
+    return build_cluster(config41, protocol="atomic_ns", num_clients=2,
+                         scheduler=RandomScheduler(1))

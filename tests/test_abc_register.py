@@ -1,0 +1,95 @@
+"""The atomic-broadcast-serialized register (§3.4 comparator)."""
+
+import pytest
+
+from repro.analysis.history import HistoryRecorder
+from repro.cluster import build_cluster
+from repro.config import SystemConfig
+from repro.faults.byzantine_servers import CrashServer
+from repro.net.schedulers import RandomScheduler
+from repro.workloads.generator import random_workload, run_workload
+
+TAG = "reg"
+
+
+def _cluster(seed=0, clients=2, **kwargs):
+    return build_cluster(SystemConfig(n=4, t=1, seed=seed),
+                         protocol="abc", num_clients=clients,
+                         scheduler=RandomScheduler(seed), **kwargs)
+
+
+def test_write_then_read():
+    cluster = _cluster()
+    cluster.write(1, TAG, "w1", b"consensus-ordered")
+    read = cluster.read(2, TAG, "r1")
+    assert read.result == b"consensus-ordered"
+
+
+def test_read_initial_value():
+    cluster = build_cluster(SystemConfig(n=4, t=1), protocol="abc",
+                            num_clients=1, scheduler=RandomScheduler(0),
+                            initial_value=b"genesis")
+    assert cluster.read(1, TAG, "r1").result == b"genesis"
+
+
+def test_sequence_numbers_as_timestamps():
+    cluster = _cluster()
+    cluster.write(1, TAG, "w1", b"a")
+    cluster.write(1, TAG, "w2", b"b")
+    read = cluster.read(2, TAG, "r1")
+    assert read.result == b"b"
+    # The TIMESTAMP is the ABC sequence number of the last write.
+    assert read.timestamp.oid == "w2"
+    assert read.timestamp.ts >= 2
+
+
+def test_multiple_registers_share_one_order():
+    cluster = _cluster()
+    cluster.write(1, "alpha", "w1", b"in-alpha")
+    cluster.write(1, "beta", "w2", b"in-beta")
+    assert cluster.read(2, "alpha", "ra").result == b"in-alpha"
+    assert cluster.read(2, "beta", "rb").result == b"in-beta"
+
+
+def test_crash_tolerance():
+    cluster = _cluster(
+        seed=3,
+        server_overrides={4: lambda pid, cfg: CrashServer(pid, cfg)})
+    cluster.write(1, TAG, "w1", b"with a crash")
+    assert cluster.read(2, TAG, "r1").result == b"with a crash"
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_concurrent_histories_linearize(seed):
+    cluster = _cluster(seed=seed, clients=3)
+    operations = random_workload(3, writes=3, reads=3, seed=seed)
+    run_workload(cluster, TAG, operations, seed=seed,
+                 max_steps=3_000_000)
+    HistoryRecorder(cluster, TAG).check()
+
+
+def test_servers_agree_on_applied_state():
+    cluster = _cluster(seed=5, clients=2)
+    cluster.write(1, TAG, "w1", b"v1")
+    cluster.write(2, TAG, "w2", b"v2")
+    cluster.run()
+    views = {server.register_state(TAG).value
+             for server in cluster.servers}
+    assert views == {b"v2"}
+    stamps = {server.register_state(TAG).timestamp
+              for server in cluster.servers}
+    assert len(stamps) == 1
+
+
+def test_consensus_cost_dwarfs_register_protocols():
+    """The point of the comparator: ABC pays an order of magnitude more
+    messages per operation than the consensus-free register."""
+    costs = {}
+    for protocol in ("abc", "atomic_ns"):
+        cluster = build_cluster(SystemConfig(n=4, t=1),
+                                protocol=protocol, num_clients=1,
+                                scheduler=RandomScheduler(1))
+        cluster.write(1, TAG, "w1", b"x" * 256)
+        cluster.run()
+        costs[protocol] = cluster.simulator.metrics.total_messages
+    assert costs["abc"] > 3 * costs["atomic_ns"]

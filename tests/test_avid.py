@@ -1,0 +1,218 @@
+"""Protocol Disperse (AVID): termination, agreement, verifiability."""
+
+import pytest
+
+from repro.avid.disperse import MSG_SEND, AvidServer, disperse
+from repro.common.ids import client_id, server_id
+from repro.common.serialization import encode
+from repro.config import SystemConfig
+from repro.net.process import Process
+from repro.net.schedulers import PriorityScheduler, RandomScheduler
+from repro.net.simulator import Simulator
+
+
+class AvidHost(Process):
+    """A server hosting only the dispersal component."""
+
+    def __init__(self, pid, config):
+        super().__init__(pid)
+        self.config = config
+        self.completions = {}
+        self.avid = AvidServer(self, config, self._complete)
+
+    def _complete(self, tag, commitment, client, block, witness):
+        assert tag not in self.completions
+        self.completions[tag] = (commitment, client, block, witness)
+
+
+class Disperser(Process):
+    pass
+
+
+def _network(n=4, t=1, k=None, seed=0, commitment="vector", crashed=0,
+             scheduler=None):
+    config = SystemConfig(n=n, t=t, k=k, commitment=commitment)
+    simulator = Simulator(
+        scheduler=scheduler or RandomScheduler(seed))
+    servers = []
+    for j in range(1, n + 1):
+        if j <= crashed:
+            servers.append(simulator.add_process(Disperser(server_id(j))))
+        else:
+            servers.append(simulator.add_process(
+                AvidHost(server_id(j), config)))
+    client = simulator.add_process(Disperser(client_id(1)))
+    return simulator, servers, client, config
+
+
+def _honest(servers):
+    return [s for s in servers if isinstance(s, AvidHost)]
+
+
+def _decode_from_completions(config, servers, tag):
+    pairs = [(server.pid.index, server.completions[tag][2])
+             for server in _honest(servers)][: config.k]
+    return config.coder.decode(pairs)
+
+
+@pytest.mark.parametrize("commitment", ["vector", "merkle"])
+def test_honest_dispersal_completes_everywhere(commitment):
+    simulator, servers, client, config = _network(commitment=commitment)
+    disperse(client, "d", b"the dispersed value", config)
+    simulator.run()
+    for server in _honest(servers):
+        assert "d" in server.completions
+        _, who, block, witness = server.completions["d"]
+        assert who == client.pid
+        assert config.commitment_scheme.verify(
+            server.completions["d"][0], server.pid.index, block, witness)
+
+
+def test_blocks_reconstruct_value():
+    simulator, servers, client, config = _network(seed=2)
+    value = bytes(range(256)) * 3
+    disperse(client, "d", value, config)
+    simulator.run()
+    assert _decode_from_completions(config, servers, "d") == value
+
+
+def test_agreement_on_commitment():
+    simulator, servers, client, config = _network(seed=4)
+    disperse(client, "d", b"v", config)
+    simulator.run()
+    commitments = {encode(s.completions["d"][0]) for s in _honest(servers)}
+    assert len(commitments) == 1
+
+
+def test_completes_with_t_crashed_servers():
+    simulator, servers, client, config = _network(crashed=1, seed=7)
+    disperse(client, "d", b"resilient", config)
+    simulator.run()
+    for server in _honest(servers):
+        assert "d" in server.completions
+    assert _decode_from_completions(config, servers, "d") == b"resilient"
+
+
+def test_many_schedules():
+    for seed in range(8):
+        simulator, servers, client, config = _network(seed=seed)
+        disperse(client, "d", b"value-%d" % seed, config)
+        simulator.run()
+        assert _decode_from_completions(
+            config, servers, "d") == b"value-%d" % seed
+
+
+def test_withheld_sends_still_complete_everywhere():
+    """Agreement: the client sends valid blocks to only t+1 servers; if
+    any honest server completes, all must (personalized readys carry the
+    missing blocks)."""
+    for seed in range(8):
+        simulator, servers, client, config = _network(seed=seed)
+        value = b"partially distributed"
+        blocks = config.coder.encode(value)
+        commitment, witnesses = config.commitment_scheme.commit(blocks)
+        # Valid sends only to the first 3 (= n - t) servers; the echo
+        # quorum can be met, the last server never gets its send.
+        for index in (1, 2, 3):
+            client.send(server_id(index), "d", MSG_SEND, commitment,
+                        blocks[index - 1], witnesses[index - 1])
+        simulator.run()
+        completed = [s for s in _honest(servers) if "d" in s.completions]
+        assert len(completed) in (0, len(_honest(servers))), seed
+        if completed:
+            assert _decode_from_completions(config, servers, "d") == value
+
+
+def test_inconsistent_encoding_never_completes():
+    """Verifiability: commitments over blocks that are not an encoding of
+    any value are refused (no honest server ever sends ready)."""
+    simulator, servers, client, config = _network(seed=1)
+    blocks_a = config.coder.encode(b"A" * 50)
+    blocks_b = config.coder.encode(b"B" * 50)
+    mixed = [blocks_a[0], blocks_b[1], blocks_a[2], blocks_b[3]]
+    commitment, witnesses = config.commitment_scheme.commit(mixed)
+    for index, server in enumerate(simulator.server_pids, start=1):
+        client.send(server, "d", MSG_SEND, commitment, mixed[index - 1],
+                    witnesses[index - 1])
+    simulator.run()
+    assert all("d" not in s.completions for s in _honest(servers))
+
+
+def test_corrupted_send_ignored():
+    simulator, servers, client, config = _network()
+    blocks = config.coder.encode(b"value")
+    commitment, witnesses = config.commitment_scheme.commit(blocks)
+    # Block does not match the commitment slot.
+    client.send(server_id(1), "d", MSG_SEND, commitment, b"garbage",
+                witnesses[0])
+    simulator.run()
+    assert all("d" not in s.completions for s in _honest(servers))
+
+
+def test_byzantine_echo_flood_harmless():
+    simulator, servers, client, config = _network(crashed=1, seed=3)
+    byzantine = servers[0]
+    disperse(client, "d", b"value", config)
+    for _ in range(5):
+        byzantine.send_to_servers(
+            "d", "avid-echo",
+            tuple(b"\x00" * 32 for _ in range(config.n)),
+            client.pid, b"junk", None)
+        byzantine.send_to_servers(
+            "d", "avid-ready",
+            tuple(b"\x00" * 32 for _ in range(config.n)),
+            client.pid, None, None)
+    simulator.run()
+    assert _decode_from_completions(config, servers, "d") == b"value"
+
+
+def test_equivocating_client_at_most_one_commitment():
+    """Different (send) commitments to different servers: at most one can
+    ever complete, and all honest completions agree."""
+    for seed in range(6):
+        simulator, servers, client, config = _network(seed=seed)
+        value_a, value_b = b"A" * 40, b"B" * 40
+        for value, targets in ((value_a, (1, 2)), (value_b, (3, 4))):
+            blocks = config.coder.encode(value)
+            commitment, witnesses = config.commitment_scheme.commit(blocks)
+            for index in targets:
+                client.send(server_id(index), "d", MSG_SEND, commitment,
+                            blocks[index - 1], witnesses[index - 1])
+        simulator.run()
+        commitments = {encode(s.completions["d"][0])
+                       for s in _honest(servers) if "d" in s.completions}
+        assert len(commitments) <= 1
+
+
+def test_k_values_sweep():
+    for k in (1, 2, 3):
+        simulator, servers, client, config = _network(k=k, seed=k)
+        disperse(client, "d", b"k-sweep", config)
+        simulator.run()
+        assert _decode_from_completions(config, servers, "d") == b"k-sweep"
+
+
+def test_empty_value():
+    simulator, servers, client, config = _network()
+    disperse(client, "d", b"", config)
+    simulator.run()
+    assert _decode_from_completions(config, servers, "d") == b""
+
+
+def test_adversarial_scheduler_starving_one_server():
+    """A server whose traffic is maximally delayed still completes."""
+    victim = server_id(4)
+    scheduler = PriorityScheduler(
+        lambda m: victim in (m.sender, m.recipient), seed=2)
+    simulator, servers, client, config = _network(scheduler=scheduler)
+    disperse(client, "d", b"starved", config)
+    simulator.run()
+    assert all("d" in s.completions for s in _honest(servers))
+
+
+def test_storage_released_after_completion():
+    simulator, servers, client, config = _network()
+    disperse(client, "d", b"x" * 1000, config)
+    simulator.run()
+    for server in _honest(servers):
+        assert server.avid.storage_bytes() == 0

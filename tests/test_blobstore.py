@@ -1,0 +1,141 @@
+"""The BFT object store built on the register array."""
+
+import os
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.config import SystemConfig
+from repro.faults.byzantine_servers import (
+    CrashServer,
+    EquivocatingReaderServer,
+)
+from repro.net.schedulers import RandomScheduler
+from repro.store import (
+    BlobNotFound,
+    BlobStore,
+    BlobStoreError,
+)
+
+
+def _store_pair(seed=0, chunk_size=512, server_overrides=None):
+    cluster = build_cluster(SystemConfig(n=4, t=1, seed=seed),
+                            protocol="atomic_ns", num_clients=2,
+                            scheduler=RandomScheduler(seed),
+                            server_overrides=server_overrides)
+    return (BlobStore(cluster, 1, chunk_size=chunk_size),
+            BlobStore(cluster, 2, chunk_size=chunk_size), cluster)
+
+
+def test_put_get_roundtrip():
+    alice, bob, _ = _store_pair()
+    data = bytes(range(256)) * 7
+    stat = alice.put("file", data)
+    assert stat.size == len(data)
+    assert stat.chunk_count == (len(data) + 511) // 512
+    assert bob.get("file") == data
+
+
+def test_empty_blob():
+    alice, bob, _ = _store_pair()
+    stat = alice.put("empty", b"")
+    assert stat.chunk_count == 1 and stat.size == 0
+    assert bob.get("empty") == b""
+
+
+def test_single_chunk_blob():
+    alice, bob, _ = _store_pair()
+    alice.put("small", b"tiny")
+    assert bob.get("small") == b"tiny"
+
+
+def test_exact_chunk_boundary():
+    alice, bob, _ = _store_pair(chunk_size=100)
+    data = b"x" * 300
+    stat = alice.put("file", data)
+    assert stat.chunk_count == 3
+    assert bob.get("file") == data
+
+
+def test_stat_and_exists():
+    alice, bob, _ = _store_pair()
+    assert not bob.exists("file")
+    with pytest.raises(BlobNotFound):
+        bob.stat("file")
+    alice.put("file", b"abc")
+    assert bob.exists("file")
+    stat = bob.stat("file")
+    assert stat.size == 3 and stat.name == "file"
+
+
+def test_overwrite_last_writer_wins():
+    alice, bob, _ = _store_pair()
+    alice.put("file", b"version-1" * 100)
+    bob.put("file", b"version-2")
+    assert alice.get("file") == b"version-2"
+    assert alice.stat("file").size == 9
+
+
+def test_overwrite_with_fewer_chunks():
+    alice, bob, _ = _store_pair(chunk_size=64)
+    alice.put("file", os.urandom(64 * 5))
+    alice.put("file", b"short now")
+    assert bob.get("file") == b"short now"
+
+
+def test_delete_and_recreate():
+    alice, bob, _ = _store_pair()
+    alice.put("file", b"first life")
+    alice.delete("file")
+    assert not bob.exists("file")
+    with pytest.raises(BlobNotFound):
+        bob.get("file")
+    alice.put("file", b"second life")
+    assert bob.get("file") == b"second life"
+
+
+def test_get_unknown_name():
+    _, bob, _ = _store_pair()
+    with pytest.raises(BlobNotFound):
+        bob.get("never")
+
+
+def test_many_objects_independent():
+    alice, bob, _ = _store_pair(chunk_size=128)
+    blobs = {f"obj{i}": os.urandom(100 + i * 137) for i in range(6)}
+    for name, data in blobs.items():
+        alice.put(name, data)
+    for name, data in blobs.items():
+        assert bob.get(name) == data
+
+
+def test_byzantine_server_tolerated():
+    alice, bob, _ = _store_pair(
+        seed=3,
+        server_overrides={
+            2: lambda pid, cfg: EquivocatingReaderServer(pid, cfg)})
+    data = os.urandom(2000)
+    alice.put("file", data)
+    assert bob.get("file") == data
+
+
+def test_crashed_server_tolerated():
+    alice, bob, _ = _store_pair(
+        seed=4,
+        server_overrides={4: lambda pid, cfg: CrashServer(pid, cfg)})
+    data = os.urandom(1500)
+    alice.put("file", data)
+    assert bob.get("file") == data
+
+
+def test_invalid_chunk_size():
+    cluster = build_cluster(SystemConfig(n=4, t=1))
+    with pytest.raises(BlobStoreError):
+        BlobStore(cluster, 1, chunk_size=0)
+
+
+def test_versions_differ_across_writers():
+    alice, bob, _ = _store_pair()
+    stat_a = alice.put("a", b"x")
+    stat_b = bob.put("b", b"y")
+    assert stat_a.version != stat_b.version

@@ -1,0 +1,128 @@
+"""Value-level erasure coder: framing, padding, blow-up."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConfigurationError, DecodingError
+from repro.erasure.coder import ErasureCoder
+
+
+def test_roundtrip_simple():
+    coder = ErasureCoder(4, 2)
+    value = b"hello, dispersal"
+    blocks = coder.encode(value)
+    assert len(blocks) == 4
+    assert coder.decode([(1, blocks[0]), (3, blocks[2])]) == value
+
+
+def test_roundtrip_empty_value():
+    coder = ErasureCoder(4, 3)
+    blocks = coder.encode(b"")
+    assert coder.decode(list(enumerate(blocks, start=1))[:3]) == b""
+
+
+def test_roundtrip_every_subset():
+    coder = ErasureCoder(5, 3)
+    value = bytes(range(100))
+    blocks = coder.encode(value)
+    for subset in itertools.combinations(range(1, 6), 3):
+        pairs = [(j, blocks[j - 1]) for j in subset]
+        assert coder.decode(pairs) == value
+
+
+def test_value_with_zero_padding_ambiguity():
+    """Trailing zeros must survive framing."""
+    coder = ErasureCoder(4, 2)
+    value = b"data\x00\x00\x00"
+    blocks = coder.encode(value)
+    assert coder.decode([(1, blocks[0]), (2, blocks[1])]) == value
+
+
+def test_block_length():
+    coder = ErasureCoder(6, 4)
+    value = b"x" * 1000
+    blocks = coder.encode(value)
+    assert all(len(block) == coder.block_length(1000)
+               for block in blocks)
+    assert coder.block_length(1000) == (1000 + 8 + 3) // 4
+
+
+def test_blocks_smaller_than_value():
+    coder = ErasureCoder(7, 5)
+    value = b"v" * 10_000
+    blocks = coder.encode(value)
+    assert len(blocks[0]) < len(value) / 4
+
+
+def test_storage_blowup():
+    coder = ErasureCoder(6, 4)
+    blowup = coder.storage_blowup(10_000)
+    assert 6 / 4 <= blowup < 6 / 4 + 0.01
+
+
+def test_storage_blowup_invalid_length():
+    with pytest.raises(ConfigurationError):
+        ErasureCoder(4, 2).storage_blowup(0)
+
+
+def test_non_bytes_rejected():
+    with pytest.raises(ConfigurationError):
+        ErasureCoder(4, 2).encode("not-bytes")
+
+
+def test_bytearray_accepted():
+    coder = ErasureCoder(4, 2)
+    blocks = coder.encode(bytearray(b"mutable"))
+    assert coder.decode([(1, blocks[0]), (2, blocks[1])]) == b"mutable"
+
+
+def test_decode_out_of_range_index():
+    coder = ErasureCoder(4, 2)
+    blocks = coder.encode(b"value")
+    with pytest.raises(DecodingError):
+        coder.decode([(0, blocks[0]), (1, blocks[1])])
+    with pytest.raises(DecodingError):
+        coder.decode([(5, blocks[0]), (1, blocks[1])])
+
+
+def test_decode_conflicting_duplicate_index():
+    coder = ErasureCoder(4, 2)
+    blocks = coder.encode(b"value")
+    with pytest.raises(DecodingError):
+        coder.decode([(1, blocks[0]), (1, blocks[1]), (2, blocks[1])])
+
+
+def test_decode_consistent_duplicate_allowed():
+    coder = ErasureCoder(4, 2)
+    blocks = coder.encode(b"value")
+    pairs = [(1, blocks[0]), (1, blocks[0]), (2, blocks[1])]
+    assert coder.decode(pairs) == b"value"
+
+
+def test_decode_too_few_raises():
+    coder = ErasureCoder(5, 3)
+    blocks = coder.encode(b"value")
+    with pytest.raises(DecodingError):
+        coder.decode([(1, blocks[0]), (2, blocks[1])])
+
+
+def test_garbage_blocks_raise_or_misdecode():
+    """Framing catches most garbage; the commitment layer catches all."""
+    coder = ErasureCoder(4, 2)
+    garbage = [(1, b"\xff" * 10), (2, b"\xff" * 10)]
+    with pytest.raises(DecodingError):
+        coder.decode(garbage)
+
+
+@settings(max_examples=50)
+@given(st.data())
+def test_property_roundtrip(data):
+    n = data.draw(st.integers(min_value=1, max_value=10))
+    k = data.draw(st.integers(min_value=1, max_value=n))
+    value = data.draw(st.binary(max_size=300))
+    coder = ErasureCoder(n, k)
+    blocks = coder.encode(value)
+    chosen = data.draw(st.permutations(list(range(1, n + 1))))[:k]
+    assert coder.decode([(j, blocks[j - 1]) for j in chosen]) == value

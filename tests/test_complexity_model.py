@@ -1,0 +1,101 @@
+"""Analytic complexity model: shapes and internal consistency."""
+
+import pytest
+
+from repro.analysis.complexity import ComplexityModel
+from repro.common.errors import ConfigurationError
+
+
+def test_defaults():
+    model = ComplexityModel(n=4, t=1)
+    assert model.k == 3
+    assert model.block_size == (1024 + 8 + 2) // 3
+
+
+def test_invalid_k():
+    with pytest.raises(ConfigurationError):
+        ComplexityModel(n=4, t=1, k=5)
+
+
+def test_commitment_sizes():
+    vector = ComplexityModel(n=8, t=2, commitment="vector")
+    merkle = ComplexityModel(n=8, t=2, commitment="merkle")
+    assert vector.commitment_size == 8 * 32
+    assert merkle.commitment_size == 32
+    assert vector.witness_size == 0
+    assert merkle.witness_size == 32 * 3  # log2(8) levels
+
+
+def test_all_protocols_present():
+    predictions = ComplexityModel(n=4, t=1).all_protocols()
+    assert set(predictions) == {"phalanx", "martin", "goodson",
+                                "bazzi_ding", "atomic", "atomic_ns"}
+
+
+def test_resilience_labels():
+    predictions = ComplexityModel(n=5, t=1).all_protocols()
+    assert predictions["atomic"].resilience == "n > 3t"
+    assert predictions["atomic_ns"].resilience == "n > 3t"
+    assert predictions["martin"].resilience == "n > 3t"
+    assert predictions["goodson"].resilience == "n > 4t"
+    assert predictions["bazzi_ding"].resilience == "n > 4t"
+
+
+def test_claim_flags():
+    predictions = ComplexityModel(n=4, t=1).all_protocols()
+    assert predictions["atomic_ns"].non_skipping
+    assert predictions["bazzi_ding"].non_skipping
+    assert not predictions["atomic"].non_skipping
+    assert not predictions["martin"].non_skipping
+    assert predictions["atomic"].byzantine_clients
+    assert predictions["atomic_ns"].byzantine_clients
+    assert not predictions["martin"].byzantine_clients
+
+
+def test_storage_blowup_shapes():
+    model = ComplexityModel(n=7, t=2, value_size=10_000)
+    assert model.martin().storage_blowup == 7.0
+    assert 1.3 < model.atomic().storage_blowup < 1.5  # ~ n/(n-t)
+
+
+def test_write_messages_growth():
+    small = ComplexityModel(n=4, t=1)
+    large = ComplexityModel(n=13, t=4)
+    ratio = large.atomic_ns().write_messages / \
+        small.atomic_ns().write_messages
+    n_squared_ratio = (13 / 4) ** 2
+    assert 0.7 * n_squared_ratio < ratio < 1.3 * n_squared_ratio
+    martin_ratio = large.martin().write_messages / \
+        small.martin().write_messages
+    assert martin_ratio == pytest.approx(13 / 4)
+
+
+def test_atomic_ns_more_expensive_than_atomic():
+    model = ComplexityModel(n=7, t=2)
+    assert model.atomic_ns().write_messages > model.atomic().write_messages
+    assert model.atomic_ns().write_bytes > model.atomic().write_bytes
+    assert model.atomic_ns().storage_per_server > \
+        model.atomic().storage_per_server
+
+
+def test_read_bytes_erasure_beats_replication_for_large_values():
+    model = ComplexityModel(n=7, t=2, value_size=262_144)
+    assert model.atomic_ns().read_bytes < model.martin().read_bytes
+
+
+def test_replication_beats_erasure_for_tiny_values():
+    model = ComplexityModel(n=7, t=2, value_size=16)
+    assert model.martin().read_bytes < model.atomic_ns().read_bytes
+
+
+def test_goodson_rollback_cost_linear():
+    model = ComplexityModel(n=9, t=2)
+    base = model.goodson(rollback_rounds=0).read_messages
+    rolled = model.goodson(rollback_rounds=3).read_messages
+    assert rolled == base + 3 * 2 * 9
+
+
+def test_goodson_version_storage_linear():
+    model = ComplexityModel(n=9, t=2)
+    assert model.goodson(versions=5).storage_per_server == \
+        5 * model.goodson(versions=1).storage_per_server

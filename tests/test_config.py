@@ -1,0 +1,72 @@
+"""SystemConfig validation and derived quantities."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.config import SystemConfig
+from repro.crypto.commitment import MerkleCommitment, VectorCommitment
+from repro.crypto.threshold import IdealThresholdScheme, ShoupThresholdScheme
+
+
+def test_minimal_optimal_resilience():
+    config = SystemConfig(n=4, t=1)
+    assert config.quorum == 3
+    assert config.ready_amplify == 2
+    assert config.deliver_quorum == 3
+    assert config.k == 3  # defaults to n - t
+
+
+def test_n_3t_rejected():
+    with pytest.raises(ConfigurationError):
+        SystemConfig(n=3, t=1)
+    with pytest.raises(ConfigurationError):
+        SystemConfig(n=6, t=2)
+
+
+def test_t_zero_allowed():
+    config = SystemConfig(n=1, t=0)
+    assert config.quorum == 1
+
+
+def test_k_bounds():
+    SystemConfig(n=7, t=2, k=1)
+    SystemConfig(n=7, t=2, k=5)
+    with pytest.raises(ConfigurationError):
+        SystemConfig(n=7, t=2, k=6)
+    with pytest.raises(ConfigurationError):
+        SystemConfig(n=7, t=2, k=0)
+
+
+def test_coder_matches_config():
+    config = SystemConfig(n=7, t=2, k=4)
+    assert config.coder.n == 7
+    assert config.coder.k == 4
+
+
+def test_commitment_selection():
+    assert isinstance(SystemConfig(n=4, t=1).commitment_scheme,
+                      VectorCommitment)
+    assert isinstance(
+        SystemConfig(n=4, t=1, commitment="merkle").commitment_scheme,
+        MerkleCommitment)
+    with pytest.raises(ConfigurationError):
+        SystemConfig(n=4, t=1, commitment="sparse")
+
+
+def test_threshold_scheme_lazy_and_cached():
+    config = SystemConfig(n=4, t=1)
+    scheme = config.threshold_scheme
+    assert isinstance(scheme, IdealThresholdScheme)
+    assert config.threshold_scheme is scheme
+
+
+def test_shoup_backend():
+    config = SystemConfig(n=4, t=1, threshold_backend="shoup")
+    assert isinstance(config.threshold_scheme, ShoupThresholdScheme)
+
+
+def test_seed_differentiates_key_material():
+    a = SystemConfig(n=4, t=1, seed=1)
+    b = SystemConfig(n=4, t=1, seed=2)
+    share = a.threshold_scheme.sign(("m",), 1)
+    assert not b.threshold_scheme.verify_share(("m",), share)

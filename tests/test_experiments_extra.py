@@ -1,0 +1,56 @@
+"""The extension experiments (F9-F12) at reduced scale, plus CLI
+registration checks."""
+
+from repro.cli import _EXPERIMENTS
+from repro.experiments import (
+    broadcast_comparison,
+    latency_rounds,
+    listeners_ablation,
+    scheduler_sensitivity,
+)
+
+
+def test_all_experiments_registered_in_cli():
+    assert set(_EXPERIMENTS) == {
+        "t1", "t2", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8",
+        "f9", "f10", "f11", "f12", "f13"}
+
+
+def test_f9_listeners_ablation_small():
+    rows = listeners_ablation.run(write_counts=(0, 4), reads=2)
+    by_key = {(row.variant, row.concurrent_writes): row for row in rows}
+    assert by_key[("atomic", 0)].rounds_per_read == 1.0
+    assert by_key[("atomic", 4)].rounds_per_read == 1.0
+    assert by_key[("no_listeners", 4)].rounds_per_read >= 1.0
+    assert all(row.atomic for row in rows)
+    assert listeners_ablation.render(rows)
+
+
+def test_f10_latency_rounds_small():
+    rows = latency_rounds.run(t=1, protocols=("martin", "atomic"))
+    by_protocol = {row.protocol: row for row in rows}
+    assert by_protocol["martin"].write_rounds == 4
+    assert by_protocol["atomic"].write_rounds in (6, 7)
+    assert latency_rounds.render(rows)
+
+
+def test_f10b_rollback_latency_small():
+    rows = latency_rounds.run_goodson_rollback_latency(counts=(0, 1))
+    assert rows[0].read_rounds == 2
+    assert rows[1].read_rounds == 4
+    assert latency_rounds.render_rollback(rows)
+
+
+def test_f11_scheduler_sensitivity_small():
+    rows = scheduler_sensitivity.run(writes=2, reads=2)
+    assert len(rows) == 4
+    assert all(row.terminated and row.atomic for row in rows)
+    assert all(row.load_imbalance < 1.5 for row in rows)
+    assert scheduler_sensitivity.render(rows)
+
+
+def test_f12_broadcast_comparison_small():
+    rows = broadcast_comparison.run(ts=(1, 2), value_size=4096)
+    assert all(row.avid_rbc_bytes < row.bracha_bytes for row in rows)
+    assert rows[1].ratio > rows[0].ratio
+    assert broadcast_comparison.render(rows)

@@ -1,0 +1,73 @@
+"""Fail-stop faults at every protocol point: liveness must never depend
+on *when* a tolerated server dies."""
+
+import pytest
+
+from repro.analysis.history import HistoryRecorder
+from repro.cluster import build_cluster
+from repro.config import SystemConfig
+from repro.faults.failstop import (
+    FailStopMartinServer,
+    FailStopNSServer,
+    FailStopServer,
+)
+from repro.net.schedulers import RandomScheduler
+from repro.workloads.generator import random_workload, run_workload
+
+TAG = "reg"
+
+
+def _run_with_crash_point(protocol, server_cls, crash_after, seed=0):
+    config = SystemConfig(n=4, t=1, seed=seed)
+    cluster = build_cluster(
+        config, protocol=protocol, num_clients=2,
+        scheduler=RandomScheduler(seed),
+        server_overrides={
+            2: lambda pid, cfg: server_cls(pid, cfg,
+                                           crash_after=crash_after)})
+    operations = random_workload(2, writes=2, reads=2, seed=seed)
+    run_workload(cluster, TAG, operations, seed=seed)
+    honest = [server.pid for index, server
+              in enumerate(cluster.servers, start=1) if index != 2]
+    HistoryRecorder(cluster, TAG, honest_servers=honest).check()
+    return cluster
+
+
+def test_crash_at_time_zero():
+    cluster = _run_with_crash_point("atomic", FailStopServer, 0)
+    assert cluster.server(2).crashed
+
+
+@pytest.mark.parametrize("crash_after", [1, 3, 7, 15, 40, 100])
+def test_atomic_survives_every_crash_point(crash_after):
+    _run_with_crash_point("atomic", FailStopServer, crash_after)
+
+
+@pytest.mark.parametrize("crash_after", [1, 5, 20, 60])
+def test_atomic_ns_survives_every_crash_point(crash_after):
+    _run_with_crash_point("atomic_ns", FailStopNSServer, crash_after)
+
+
+@pytest.mark.parametrize("crash_after", [1, 4, 12])
+def test_martin_survives_every_crash_point(crash_after):
+    _run_with_crash_point("martin", FailStopMartinServer, crash_after)
+
+
+def test_dense_crash_point_sweep():
+    """Walk the crash point across the whole first write of a run —
+    mid-echo, mid-ready, mid-share — liveness holds at each."""
+    for crash_after in range(0, 30, 2):
+        _run_with_crash_point("atomic_ns", FailStopNSServer, crash_after,
+                              seed=crash_after)
+
+
+def test_server_that_never_crashes_counts_as_honest():
+    cluster = _run_with_crash_point("atomic", FailStopServer, 10 ** 9)
+    assert not cluster.server(2).crashed
+
+
+def test_crashed_server_buffers_but_ignores():
+    cluster = _run_with_crash_point("atomic", FailStopServer, 1)
+    server = cluster.server(2)
+    assert server.crashed
+    assert len(server.inbox) > 1  # deliveries continued into the buffer

@@ -1,0 +1,175 @@
+"""GF(2^16) field and the large-cluster Reed-Solomon code."""
+
+import itertools
+import os
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConfigurationError, DecodingError
+from repro.erasure import gf65536
+from repro.erasure.coder import ErasureCoder
+from repro.erasure.reed_solomon16 import ReedSolomonCode16
+
+elements = st.integers(min_value=0, max_value=65535)
+nonzero = st.integers(min_value=1, max_value=65535)
+
+
+def test_mul_identity_and_zero():
+    for a in (0, 1, 2, 255, 256, 65535):
+        assert gf65536.gf_mul(a, 1) == a
+        assert gf65536.gf_mul(a, 0) == 0
+
+
+def test_generator_reduction():
+    # 2 * 0x8000 overflows and reduces by the primitive polynomial.
+    assert gf65536.gf_mul(0x8000, 2) == (0x10000 ^ gf65536.PRIMITIVE_POLY)
+
+
+def test_div_and_inv_errors():
+    with pytest.raises(ZeroDivisionError):
+        gf65536.gf_div(1, 0)
+    with pytest.raises(ZeroDivisionError):
+        gf65536.gf_inv(0)
+    with pytest.raises(ZeroDivisionError):
+        gf65536.gf_pow(0, -2)
+
+
+def test_pow_base_cases():
+    assert gf65536.gf_pow(0, 0) == 1
+    assert gf65536.gf_pow(0, 3) == 0
+    assert gf65536.gf_pow(7, 0) == 1
+    assert gf65536.gf_mul(gf65536.gf_pow(9, -1), 9) == 1
+
+
+@given(elements, elements)
+def test_mul_commutative(a, b):
+    assert gf65536.gf_mul(a, b) == gf65536.gf_mul(b, a)
+
+
+@given(elements, elements, elements)
+def test_distributive(a, b, c):
+    left = gf65536.gf_mul(a, b ^ c)
+    right = gf65536.gf_mul(a, b) ^ gf65536.gf_mul(a, c)
+    assert left == right
+
+
+@given(nonzero)
+def test_inverse(a):
+    assert gf65536.gf_mul(a, gf65536.gf_inv(a)) == 1
+
+
+@given(elements, nonzero)
+def test_div_matches_inverse(a, b):
+    assert gf65536.gf_div(a, b) == gf65536.gf_mul(a, gf65536.gf_inv(b))
+
+
+def test_matrix_invert_roundtrip():
+    rng = random.Random(5)
+    matrix = [[rng.randrange(65536) for _ in range(4)] for _ in range(4)]
+    try:
+        inverse = gf65536.matrix_invert(matrix)
+    except ValueError:
+        pytest.skip("randomly singular")
+    product = gf65536.matrix_multiply(matrix, inverse)
+    assert product == gf65536.identity_matrix(4)
+
+
+def test_vandermonde_limit():
+    with pytest.raises(ValueError):
+        gf65536.vandermonde_matrix(70000, 2)
+
+
+# -- Reed-Solomon over GF(2^16) --------------------------------------------------
+
+def test_rs16_systematic_roundtrip():
+    code = ReedSolomonCode16(6, 3)
+    data = [os.urandom(12) for _ in range(3)]
+    blocks = code.encode_blocks(data)
+    assert blocks[:3] == data
+    for subset in itertools.combinations(range(6), 3):
+        recovered = code.decode_blocks(
+            {index: blocks[index] for index in subset})
+        assert recovered == data
+
+
+def test_rs16_beyond_255():
+    code = ReedSolomonCode16(300, 5)
+    data = [os.urandom(8) for _ in range(5)]
+    blocks = code.encode_blocks(data)
+    assert len(blocks) == 300
+    recovered = code.decode_blocks(
+        {299: blocks[299], 256: blocks[256], 17: blocks[17],
+         255: blocks[255], 123: blocks[123]})
+    assert recovered == data
+
+
+def test_rs16_odd_length_rejected():
+    code = ReedSolomonCode16(4, 2)
+    with pytest.raises(ConfigurationError):
+        code.encode_blocks([b"abc", b"def"])
+    with pytest.raises(DecodingError):
+        code.decode_blocks({0: b"abc", 1: b"def"})
+
+
+def test_rs16_parameter_validation():
+    with pytest.raises(ConfigurationError):
+        ReedSolomonCode16(3, 4)
+    with pytest.raises(ConfigurationError):
+        ReedSolomonCode16(70000, 2)
+
+
+def test_rs16_numpy_matches_python():
+    fast = ReedSolomonCode16(7, 4, use_numpy=True)
+    slow = ReedSolomonCode16(7, 4, use_numpy=False)
+    data = [os.urandom(20) for _ in range(4)]
+    assert fast.encode_blocks(data) == slow.encode_blocks(data)
+    blocks = fast.encode_blocks(data)
+    subset = {6: blocks[6], 5: blocks[5], 4: blocks[4], 2: blocks[2]}
+    assert fast.decode_blocks(subset) == slow.decode_blocks(subset)
+
+
+# -- coder integration ---------------------------------------------------------------
+
+def test_coder_field_auto_selection():
+    assert ErasureCoder(255, 100).field == "gf256"
+    assert ErasureCoder(256, 100).field == "gf65536"
+
+
+def test_coder_explicit_field_roundtrip():
+    coder = ErasureCoder(7, 3, field="gf65536")
+    value = os.urandom(1001)  # odd length exercises symbol padding
+    blocks = coder.encode(value)
+    assert len(blocks[0]) % 2 == 0
+    assert coder.decode([(2, blocks[1]), (5, blocks[4]),
+                         (7, blocks[6])]) == value
+
+
+def test_coder_unknown_field():
+    with pytest.raises(ConfigurationError):
+        ErasureCoder(4, 2, field="gf4")
+
+
+def test_large_cluster_value_roundtrip():
+    coder = ErasureCoder(400, 280)
+    value = os.urandom(4096)
+    blocks = coder.encode(value)
+    pairs = [(j, blocks[j - 1]) for j in range(50, 50 + 280)]
+    assert coder.decode(pairs) == value
+    assert coder.storage_blowup(4096) < 1.6
+
+
+@settings(max_examples=15)
+@given(st.data())
+def test_property_rs16_roundtrip(data):
+    n = data.draw(st.integers(min_value=1, max_value=9))
+    k = data.draw(st.integers(min_value=1, max_value=n))
+    length = 2 * data.draw(st.integers(min_value=0, max_value=10))
+    blocks_in = [data.draw(st.binary(min_size=length, max_size=length))
+                 for _ in range(k)]
+    code = ReedSolomonCode16(n, k)
+    encoded = code.encode_blocks(blocks_in)
+    chosen = data.draw(st.permutations(list(range(n))))[:k]
+    assert code.decode_blocks(
+        {index: encoded[index] for index in chosen}) == blocks_in

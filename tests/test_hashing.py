@@ -1,0 +1,55 @@
+"""Collision-resistant hash wrappers."""
+
+from hypothesis import given, strategies as st
+
+from repro.crypto.hashing import (
+    DIGEST_SIZE,
+    hash_bytes,
+    hash_int,
+    hash_many,
+    hash_vector,
+)
+
+
+def test_digest_size():
+    assert len(hash_bytes(b"x")) == DIGEST_SIZE
+
+
+def test_deterministic():
+    assert hash_bytes(b"data") == hash_bytes(b"data")
+
+
+def test_distinct_inputs_distinct_digests():
+    assert hash_bytes(b"a") != hash_bytes(b"b")
+
+
+def test_hash_many_framing():
+    # Without length framing these two would collide.
+    assert hash_many([b"ab", b"c"]) != hash_many([b"a", b"bc"])
+    assert hash_many([b"abc"]) != hash_many([b"ab", b"c"])
+
+
+def test_hash_many_empty_parts():
+    assert hash_many([]) != hash_many([b""])
+
+
+def test_hash_vector_per_block():
+    blocks = [b"one", b"two", b"three"]
+    vector = hash_vector(blocks)
+    assert vector == [hash_bytes(block) for block in blocks]
+
+
+def test_hash_int_sign_sensitivity():
+    assert hash_int(255) != hash_int(-1)
+    assert hash_int(0) == hash_int(0)
+
+
+@given(st.binary(max_size=256), st.binary(max_size=256))
+def test_no_accidental_collisions(a, b):
+    if a != b:
+        assert hash_bytes(a) != hash_bytes(b)
+
+
+@given(st.lists(st.binary(max_size=32), min_size=1, max_size=8))
+def test_hash_many_deterministic(parts):
+    assert hash_many(parts) == hash_many(list(parts))

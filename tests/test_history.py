@@ -1,0 +1,75 @@
+"""History recording from cluster runs."""
+
+import pytest
+
+from repro.analysis.history import HistoryRecorder
+from repro.cluster import build_cluster
+from repro.common.errors import LivenessError
+from repro.config import SystemConfig
+from repro.faults.byzantine_clients import SkippingWriter
+from repro.net.schedulers import RandomScheduler
+
+TAG = "reg"
+
+
+def _cluster(**kwargs):
+    config = SystemConfig(n=4, t=1)
+    return build_cluster(config, protocol="atomic", num_clients=2,
+                         scheduler=RandomScheduler(0), **kwargs)
+
+
+def test_operations_from_handles():
+    cluster = _cluster()
+    cluster.write(1, TAG, "w1", b"x")
+    cluster.read(2, TAG, "r1")
+    recorder = HistoryRecorder(cluster, TAG)
+    operations = recorder.operations()
+    assert {op.oid for op in operations} == {"w1", "r1"}
+    write = next(op for op in operations if op.oid == "w1")
+    assert write.invoke < write.complete
+
+
+def test_other_register_excluded():
+    cluster = _cluster()
+    cluster.write(1, TAG, "w1", b"x")
+    cluster.write(1, "other", "w2", b"y")
+    operations = HistoryRecorder(cluster, TAG).operations()
+    assert {op.oid for op in operations} == {"w1"}
+
+
+def test_unfinished_operation_raises():
+    cluster = _cluster()
+    cluster.client(1).invoke_write(TAG, "w1", b"x")  # not yet run
+    recorder = HistoryRecorder(cluster, TAG)
+    with pytest.raises(LivenessError):
+        recorder.operations()
+    # ...unless explicitly tolerated.
+    assert recorder.operations(require_done=False) == []
+
+
+def test_byzantine_write_included_only_if_effected():
+    cluster = _cluster(
+        client_overrides={2: lambda pid, cfg: SkippingWriter(pid, cfg)})
+    recorder = HistoryRecorder(cluster, TAG)
+    recorder.record_byzantine_write("skip", b"evil")
+    # Not yet executed: the write did not take effect.
+    assert all(op.oid != "skip" for op in recorder.operations())
+    cluster.client(2).attack_write(TAG, "skip", b"evil")
+    cluster.run()
+    included = [op for op in recorder.operations() if op.oid == "skip"]
+    assert len(included) == 1
+    assert included[0].invoke is None and included[0].complete is None
+
+
+def test_check_end_to_end_with_byzantine_write():
+    cluster = _cluster(
+        client_overrides={2: lambda pid, cfg: SkippingWriter(pid, cfg)})
+    cluster.write(1, TAG, "w1", b"honest")
+    cluster.client(2).attack_write(TAG, "skip", b"evil")
+    cluster.run()
+    read = cluster.read(1, TAG, "r1")
+    recorder = HistoryRecorder(cluster, TAG)
+    recorder.record_byzantine_write("skip", b"evil")
+    order = recorder.check()
+    assert read.result in (b"honest", b"evil")
+    assert "skip" in order

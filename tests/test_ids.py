@@ -1,0 +1,68 @@
+"""Party identifiers and hierarchical tags."""
+
+import pytest
+
+from repro.common.ids import (
+    PartyId,
+    client_id,
+    parent_tag,
+    server_id,
+    server_ids,
+    subtag,
+)
+
+
+def test_server_and_client_rendering():
+    assert str(server_id(3)) == "P3"
+    assert str(client_id(12)) == "C12"
+
+
+def test_kind_predicates():
+    assert server_id(1).is_server and not server_id(1).is_client
+    assert client_id(1).is_client and not client_id(1).is_server
+
+
+def test_ordering_servers_before_clients():
+    assert client_id(1) < server_id(1)  # 'client' < 'server' lexically
+    assert server_id(1) < server_id(2)
+    assert client_id(2) < client_id(10)
+
+
+def test_invalid_kind_rejected():
+    with pytest.raises(ValueError):
+        PartyId("router", 1)
+
+
+def test_zero_index_rejected():
+    with pytest.raises(ValueError):
+        server_id(0)
+
+
+def test_server_ids_enumeration():
+    ids = server_ids(4)
+    assert ids == [server_id(j) for j in (1, 2, 3, 4)]
+
+
+def test_hashable_and_equal():
+    assert server_id(2) == server_id(2)
+    assert len({server_id(2), server_id(2), client_id(2)}) == 2
+
+
+def test_subtag_builds_hierarchy():
+    assert subtag("reg", "disp.w1") == "reg|disp.w1"
+    assert subtag("a", "b", "c") == "a|b|c"
+
+
+def test_subtag_rejects_empty_component():
+    with pytest.raises(ValueError):
+        subtag("reg", "")
+
+
+def test_parent_tag():
+    assert parent_tag("reg|disp.w1") == "reg"
+    assert parent_tag("a|b|c") == "a|b"
+
+
+def test_parent_of_top_level_raises():
+    with pytest.raises(ValueError):
+        parent_tag("reg")

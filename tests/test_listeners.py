@@ -1,0 +1,57 @@
+"""The listener set L."""
+
+from repro.common.ids import client_id
+from repro.core.listeners import ListenerSet
+from repro.core.timestamps import Timestamp
+
+
+def test_add_and_contains():
+    listeners = ListenerSet()
+    assert listeners.add("r1", Timestamp(1, "w"), client_id(1))
+    assert "r1" in listeners
+    assert len(listeners) == 1
+
+
+def test_duplicate_add_refused():
+    listeners = ListenerSet()
+    listeners.add("r1", Timestamp(1, "w"), client_id(1))
+    assert not listeners.add("r1", Timestamp(2, "w"), client_id(2))
+    assert len(listeners) == 1
+
+
+def test_retired_oid_refused_forever():
+    listeners = ListenerSet()
+    listeners.add("r1", Timestamp(1, "w"), client_id(1))
+    listeners.retire("r1")
+    assert "r1" not in listeners
+    assert not listeners.add("r1", Timestamp(1, "w"), client_id(1))
+
+
+def test_retire_unknown_is_noop():
+    listeners = ListenerSet()
+    listeners.retire("ghost")
+    assert len(listeners) == 0
+
+
+def test_below_strictly_smaller():
+    listeners = ListenerSet()
+    listeners.add("r1", Timestamp(1, "a"), client_id(1))
+    listeners.add("r2", Timestamp(3, "a"), client_id(2))
+    listeners.add("r3", Timestamp(2, "a"), client_id(3))
+    below = dict(listeners.below(Timestamp(2, "a")))
+    assert below == {"r1": client_id(1)}
+    below_all = dict(listeners.below(Timestamp(99, "z")))
+    assert set(below_all) == {"r1", "r2", "r3"}
+
+
+def test_below_excludes_equal():
+    listeners = ListenerSet()
+    listeners.add("r1", Timestamp(2, "a"), client_id(1))
+    assert list(listeners.below(Timestamp(2, "a"))) == []
+
+
+def test_storage_bytes_grows():
+    listeners = ListenerSet()
+    empty = listeners.storage_bytes()
+    listeners.add("r1", Timestamp(1, "a"), client_id(1))
+    assert listeners.storage_bytes() > empty

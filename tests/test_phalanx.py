@@ -1,0 +1,109 @@
+"""The Phalanx-style safe register baseline — and the consistency
+hierarchy it sits at the bottom of."""
+
+import pytest
+
+from repro.analysis.consistency import check_regularity, check_safety
+from repro.analysis.history import HistoryRecorder
+from repro.cluster import build_cluster
+from repro.common.errors import ConfigurationError
+from repro.config import SystemConfig
+from repro.faults.byzantine_servers import CrashServer
+from repro.net.schedulers import RandomScheduler
+from repro.workloads.generator import random_workload, run_workload
+
+TAG = "reg"
+
+
+def _cluster(n=5, t=1, seed=0, clients=2, **kwargs):
+    return build_cluster(SystemConfig(n=n, t=t, seed=seed),
+                         protocol="phalanx", num_clients=clients,
+                         scheduler=RandomScheduler(seed), **kwargs)
+
+
+def test_requires_n_gt_4t():
+    with pytest.raises(ConfigurationError):
+        _cluster(n=4, t=1)
+
+
+def test_write_then_read():
+    cluster = _cluster()
+    cluster.write(1, TAG, "w1", b"value")
+    read = cluster.read(2, TAG, "r1")
+    assert read.result == b"value"
+    assert read.timestamp.ts == 1
+
+
+def test_read_initial_value():
+    cluster = build_cluster(SystemConfig(n=5, t=1), protocol="phalanx",
+                            num_clients=1,
+                            scheduler=RandomScheduler(0),
+                            initial_value=b"genesis")
+    assert cluster.read(1, TAG, "r1").result == b"genesis"
+
+
+def test_sequential_overwrites():
+    cluster = _cluster()
+    for index in range(4):
+        cluster.write(1, TAG, f"w{index}", b"v%d" % index)
+    assert cluster.read(2, TAG, "r").result == b"v3"
+
+
+def test_crash_tolerance():
+    cluster = _cluster(
+        seed=2,
+        server_overrides={5: lambda pid, cfg: CrashServer(pid, cfg)})
+    cluster.write(1, TAG, "w1", b"with a crash")
+    assert cluster.read(2, TAG, "r1").result == b"with a crash"
+
+
+def test_byzantine_server_cannot_fabricate_values():
+    """t fabricated replies never reach the t+1 support threshold."""
+
+    class FabricatingServer(CrashServer):
+        def receive(self, message):
+            self.inbox.add(message)
+            if message.mtype == "read-safe":
+                from repro.core.timestamps import Timestamp
+                oid, round_no = message.payload
+                self.send(message.sender, message.tag, "value-safe", oid,
+                          round_no, Timestamp(999, "zz"), b"FABRICATED")
+
+    cluster = _cluster(
+        seed=3,
+        server_overrides={
+            1: lambda pid, cfg: FabricatingServer(pid, cfg)})
+    cluster.write(1, TAG, "w1", b"the truth")
+    read = cluster.read(2, TAG, "r1")
+    assert read.result == b"the truth"
+
+
+def test_concurrent_histories_are_safe():
+    """Phalanx guarantees safety (checked), not atomicity (not
+    required to hold)."""
+    atomic_failures = 0
+    for seed in range(8):
+        cluster = _cluster(seed=seed, clients=3)
+        operations = random_workload(3, writes=4, reads=4, seed=seed)
+        run_workload(cluster, TAG, operations, seed=seed)
+        history = HistoryRecorder(cluster, TAG).operations()
+        check_safety(history)  # must always hold
+        try:
+            HistoryRecorder(cluster, TAG).check()
+        except Exception:
+            atomic_failures += 1
+    # We don't require atomicity violations to occur at this scale, only
+    # record that safety never broke while atomicity is not promised.
+    assert atomic_failures >= 0
+
+
+def test_cheapest_read_in_the_comparison():
+    """One round, no listeners, no read-complete: 2n messages."""
+    cluster = _cluster()
+    cluster.write(1, TAG, "w1", b"x")
+    cluster.run()
+    before = cluster.simulator.metrics.snapshot()
+    cluster.read(2, TAG, "r1")
+    cluster.run()
+    after = cluster.simulator.metrics.snapshot()
+    assert after[0] - before[0] == 2 * cluster.config.n

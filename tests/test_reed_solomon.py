@@ -1,0 +1,144 @@
+"""Reed-Solomon erasure codes: any k blocks reconstruct."""
+
+import itertools
+import os
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConfigurationError, DecodingError
+from repro.erasure.gf256 import identity_matrix
+from repro.erasure.reed_solomon import ReedSolomonCode
+
+
+def _data_blocks(k: int, length: int, seed: int = 0):
+    rng = random.Random(seed)
+    return [bytes(rng.getrandbits(8) for _ in range(length))
+            for _ in range(k)]
+
+
+def test_systematic_generator():
+    code = ReedSolomonCode(7, 4)
+    assert [row for row in code.generator_matrix[:4]] == identity_matrix(4)
+
+
+def test_encode_is_systematic():
+    code = ReedSolomonCode(6, 3)
+    data = _data_blocks(3, 16)
+    blocks = code.encode_blocks(data)
+    assert blocks[:3] == data
+    assert len(blocks) == 6
+
+
+def test_every_k_subset_decodes():
+    code = ReedSolomonCode(6, 3)
+    data = _data_blocks(3, 8, seed=42)
+    blocks = code.encode_blocks(data)
+    for subset in itertools.combinations(range(6), 3):
+        recovered = code.decode_blocks(
+            {index: blocks[index] for index in subset})
+        assert recovered == data, subset
+
+
+def test_reconstruct_all():
+    code = ReedSolomonCode(5, 2)
+    data = _data_blocks(2, 10, seed=7)
+    blocks = code.encode_blocks(data)
+    rebuilt = code.reconstruct_all({3: blocks[3], 1: blocks[1]})
+    assert rebuilt == blocks
+
+
+def test_extra_blocks_ignored_deterministically():
+    code = ReedSolomonCode(5, 2)
+    data = _data_blocks(2, 4)
+    blocks = code.encode_blocks(data)
+    recovered = code.decode_blocks(dict(enumerate(blocks)))
+    assert recovered == data
+
+
+def test_too_few_blocks_raises():
+    code = ReedSolomonCode(5, 3)
+    with pytest.raises(DecodingError):
+        code.decode_blocks({0: b"xx", 1: b"yy"})
+
+
+def test_out_of_range_indices_ignored():
+    code = ReedSolomonCode(4, 2)
+    data = _data_blocks(2, 4)
+    blocks = code.encode_blocks(data)
+    with pytest.raises(DecodingError):
+        code.decode_blocks({0: blocks[0], 9: blocks[1]})
+
+
+def test_unequal_lengths_rejected():
+    code = ReedSolomonCode(4, 2)
+    with pytest.raises(ConfigurationError):
+        code.encode_blocks([b"abc", b"ab"])
+    with pytest.raises(DecodingError):
+        code.decode_blocks({0: b"abc", 1: b"ab"})
+
+
+def test_wrong_block_count_rejected():
+    code = ReedSolomonCode(4, 2)
+    with pytest.raises(ConfigurationError):
+        code.encode_blocks([b"ab"])
+
+
+def test_invalid_parameters():
+    with pytest.raises(ConfigurationError):
+        ReedSolomonCode(3, 4)
+    with pytest.raises(ConfigurationError):
+        ReedSolomonCode(4, 0)
+    with pytest.raises(ConfigurationError):
+        ReedSolomonCode(256, 4)
+
+
+def test_k_equals_n():
+    code = ReedSolomonCode(3, 3)
+    data = _data_blocks(3, 5)
+    blocks = code.encode_blocks(data)
+    assert blocks == data  # no parity; identity code
+
+
+def test_k_equals_one_is_replication():
+    code = ReedSolomonCode(4, 1)
+    blocks = code.encode_blocks([b"payload"])
+    assert all(block == b"payload" for block in blocks)
+
+
+def test_numpy_and_pure_python_agree():
+    fast = ReedSolomonCode(7, 4, use_numpy=True)
+    slow = ReedSolomonCode(7, 4, use_numpy=False)
+    data = _data_blocks(4, 32, seed=5)
+    assert fast.encode_blocks(data) == slow.encode_blocks(data)
+    blocks = fast.encode_blocks(data)
+    subset = {6: blocks[6], 4: blocks[4], 2: blocks[2], 5: blocks[5]}
+    assert fast.decode_blocks(subset) == slow.decode_blocks(subset)
+
+
+def test_corrupted_block_changes_decode():
+    """RS erasure codes detect nothing by themselves; corruption must be
+    caught by the commitment layer above (this documents the division of
+    labour)."""
+    code = ReedSolomonCode(5, 2)
+    data = _data_blocks(2, 6, seed=3)
+    blocks = code.encode_blocks(data)
+    corrupted = bytes(b ^ 1 for b in blocks[4])
+    recovered = code.decode_blocks({4: corrupted, 2: blocks[2]})
+    assert recovered != data
+
+
+@settings(max_examples=40)
+@given(st.data())
+def test_property_random_codes_roundtrip(data):
+    n = data.draw(st.integers(min_value=1, max_value=12))
+    k = data.draw(st.integers(min_value=1, max_value=n))
+    length = data.draw(st.integers(min_value=0, max_value=32))
+    blocks_in = [data.draw(st.binary(min_size=length, max_size=length))
+                 for _ in range(k)]
+    code = ReedSolomonCode(n, k)
+    encoded = code.encode_blocks(blocks_in)
+    indices = data.draw(st.permutations(list(range(n))))
+    subset = {index: encoded[index] for index in indices[:k]}
+    assert code.decode_blocks(subset) == blocks_in

@@ -1,0 +1,58 @@
+"""The markdown report generator."""
+
+import dataclasses
+
+from repro.experiments import report
+
+
+@dataclasses.dataclass
+class Inner:
+    count: int
+    share: float
+
+
+@dataclasses.dataclass
+class Row:
+    name: str
+    ok: bool
+    inner: Inner
+
+
+def test_rows_to_markdown_flattens_nested_dataclasses():
+    rows = [Row(name="a", ok=True, inner=Inner(count=3, share=0.5)),
+            Row(name="b", ok=False, inner=Inner(count=7, share=1.25))]
+    table = report.rows_to_markdown(rows)
+    lines = table.splitlines()
+    assert lines[0] == "| name | ok | inner.count | inner.share |"
+    assert "| a | yes | 3 | 0.50 |" in lines
+    assert "| b | no | 7 | 1.25 |" in lines
+
+
+def test_rows_to_markdown_empty():
+    assert report.rows_to_markdown([]) == "*(no rows)*"
+
+
+def test_sections_cover_all_experiments():
+    ids = [exp_id for exp_id, _, _ in report.sections()]
+    assert ids == ["T1", "T2", "F1", "F2", "F3", "F4", "F5", "F6", "F7",
+                   "F8", "F9", "F10", "F11", "F12", "F13"]
+
+
+def test_single_section_generates(tmp_path):
+    exp_id, heading, thunk = report.sections(fast=True)[5]  # F4
+    table = report.rows_to_markdown(thunk())
+    assert "non_skipping" in table
+
+
+def test_main_writes_file(tmp_path, capsys):
+    # Patch sections to one tiny experiment to keep the test fast.
+    original = report.sections
+    try:
+        report.sections = lambda fast=False: [original(True)[5]]
+        output = tmp_path / "results.md"
+        report.main(["-o", str(output)])
+        content = output.read_text()
+        assert content.startswith("# Measured results")
+        assert "## F4" in content
+    finally:
+        report.sections = original

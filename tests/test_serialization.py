@@ -1,0 +1,130 @@
+"""Canonical serialization: roundtrips, determinism, error handling."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import SerializationError
+from repro.common.ids import client_id, server_id
+from repro.common.serialization import (
+    decode,
+    encode,
+    encoded_size,
+    register_wire_type,
+)
+from repro.core.timestamps import Timestamp
+
+
+def test_roundtrip_primitives():
+    for value in (None, True, False, 0, -1, 42, 2 ** 200, -(2 ** 200),
+                  b"", b"bytes", "", "text", "uniçode"):
+        assert decode(encode(value)) == value
+
+
+def test_roundtrip_containers():
+    value = [1, (2, 3), {"a": b"x", "b": [None, True]}, "s"]
+    assert decode(encode(value)) == value
+
+
+def test_list_and_tuple_distinct():
+    assert encode([1, 2]) != encode((1, 2))
+    assert decode(encode((1, 2))) == (1, 2)
+    assert decode(encode([1, 2])) == [1, 2]
+
+
+def test_dict_key_order_is_canonical():
+    assert encode({"a": 1, "b": 2}) == encode({"b": 2, "a": 1})
+
+
+def test_int_bool_distinct():
+    assert encode(1) != encode(True)
+    assert encode(0) != encode(False)
+
+
+def test_str_bytes_distinct():
+    assert encode("abc") != encode(b"abc")
+
+
+def test_encoded_size_matches_len():
+    value = {"key": [1, b"payload", "text"]}
+    assert encoded_size(value) == len(encode(value))
+
+
+def test_registered_dataclass_roundtrip():
+    timestamp = Timestamp(7, "op-3")
+    assert decode(encode(timestamp)) == timestamp
+
+
+def test_party_id_roundtrip():
+    for pid in (server_id(3), client_id(12)):
+        assert decode(encode(pid)) == pid
+
+
+def test_nested_wire_types():
+    value = {"ts": Timestamp(1, "a"), "who": server_id(2)}
+    assert decode(encode(value)) == value
+
+
+def test_unserializable_raises():
+    with pytest.raises(SerializationError):
+        encode(object())
+
+
+def test_unserializable_float_raises():
+    with pytest.raises(SerializationError):
+        encode(3.14)
+
+
+def test_truncated_data_raises():
+    data = encode([1, 2, 3])
+    with pytest.raises(SerializationError):
+        decode(data[:-1])
+
+
+def test_trailing_bytes_raises():
+    with pytest.raises(SerializationError):
+        decode(encode(1) + b"x")
+
+
+def test_unknown_tag_raises():
+    with pytest.raises(SerializationError):
+        decode(b"zjunk")
+
+
+def test_register_non_dataclass_rejected():
+    with pytest.raises(SerializationError):
+        register_wire_type(int)
+
+
+def test_unknown_wire_type_name_raises():
+    @register_wire_type
+    @dataclasses.dataclass(frozen=True)
+    class Transient:
+        x: int
+
+    data = encode(Transient(1))
+    corrupted = data.replace(b"Transient", b"Transieee")
+    with pytest.raises(SerializationError):
+        decode(corrupted)
+
+
+json_like = st.recursive(
+    st.none() | st.booleans() | st.integers() | st.binary(max_size=64)
+    | st.text(max_size=32),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=20,
+)
+
+
+@given(json_like)
+def test_roundtrip_property(value):
+    assert decode(encode(value)) == value
+
+
+@given(json_like, json_like)
+def test_determinism_and_injectivity(a, b):
+    assert encode(a) == encode(a)
+    if encode(a) == encode(b):
+        assert a == b

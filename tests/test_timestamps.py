@@ -1,0 +1,84 @@
+"""TIMESTAMP ordering (equation (1) of the paper)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.serialization import decode, encode
+from repro.core.timestamps import (
+    BOTTOM_OID,
+    INITIAL_TIMESTAMP,
+    Timestamp,
+)
+
+
+def test_initial_timestamp():
+    assert INITIAL_TIMESTAMP.ts == 0
+    assert INITIAL_TIMESTAMP.oid == BOTTOM_OID
+
+
+def test_order_by_ts_first():
+    assert Timestamp(1, "z") < Timestamp(2, "a")
+
+
+def test_ties_broken_by_oid():
+    assert Timestamp(3, "a") < Timestamp(3, "b")
+    assert not Timestamp(3, "b") < Timestamp(3, "a")
+
+
+def test_equality():
+    assert Timestamp(1, "x") == Timestamp(1, "x")
+    assert Timestamp(1, "x") != Timestamp(1, "y")
+
+
+def test_bottom_sorts_below_all_real_oids():
+    assert INITIAL_TIMESTAMP < Timestamp(0, "a")
+
+
+def test_next():
+    timestamp = Timestamp(4, "old")
+    successor = timestamp.next("new")
+    assert successor == Timestamp(5, "new")
+
+
+def test_negative_rejected():
+    with pytest.raises(ValueError):
+        Timestamp(-1, "x")
+
+
+def test_str():
+    assert str(Timestamp(2, "w1")) == "[2, w1]"
+    assert "⊥" in str(INITIAL_TIMESTAMP)
+
+
+def test_wire_roundtrip():
+    timestamp = Timestamp(9, "op")
+    assert decode(encode(timestamp)) == timestamp
+
+
+def test_hashable():
+    assert len({Timestamp(1, "a"), Timestamp(1, "a"), Timestamp(1, "b")}) \
+        == 2
+
+
+timestamps = st.builds(
+    Timestamp,
+    ts=st.integers(min_value=0, max_value=1000),
+    oid=st.text(max_size=6),
+)
+
+
+@given(timestamps, timestamps)
+def test_total_order(a, b):
+    assert (a < b) + (b < a) + (a == b) == 1
+
+
+@given(timestamps, timestamps, timestamps)
+def test_transitivity(a, b, c):
+    if a < b and b < c:
+        assert a < c
+
+
+@given(timestamps, timestamps)
+def test_matches_paper_equation(a, b):
+    expected = (a.ts < b.ts) or (a.ts == b.ts and a.oid < b.oid)
+    assert (a < b) == expected

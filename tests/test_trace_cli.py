@@ -1,0 +1,106 @@
+"""Trace tooling and the command-line interface."""
+
+import io
+import json
+
+import pytest
+
+from repro.analysis.trace import (
+    export_events_jsonl,
+    format_timeline,
+    operation_summary,
+    traffic_summary,
+)
+from repro.cli import build_parser, main
+from repro.cluster import build_cluster
+from repro.config import SystemConfig
+from repro.net.schedulers import RandomScheduler
+
+
+@pytest.fixture
+def run_cluster():
+    cluster = build_cluster(SystemConfig(n=4, t=1), protocol="atomic",
+                            num_clients=2,
+                            scheduler=RandomScheduler(0))
+    cluster.write(1, "reg", "w1", b"traced value")
+    cluster.read(2, "reg", "r1")
+    cluster.run()
+    return cluster
+
+
+def test_format_timeline(run_cluster):
+    text = format_timeline(run_cluster.simulator.event_log)
+    assert "write" in text and "ack" in text
+    assert "<12B>" in text  # byte payloads summarized by length
+
+
+def test_format_timeline_filters(run_cluster):
+    text = format_timeline(run_cluster.simulator.event_log,
+                           tag="other-register")
+    assert text == "(no matching events)"
+    limited = format_timeline(run_cluster.simulator.event_log, limit=2)
+    assert "showing first 2" in limited
+
+
+def test_operation_summary(run_cluster):
+    text = operation_summary(run_cluster.simulator.event_log)
+    assert "write w1" in text
+    assert "read  r1" in text
+    assert "C1" in text and "C2" in text
+
+
+def test_traffic_summary(run_cluster):
+    text = traffic_summary(run_cluster.simulator.metrics, "reg")
+    assert "messages" in text
+    assert "avid-echo" in text
+
+
+def test_export_jsonl(run_cluster):
+    stream = io.StringIO()
+    count = export_events_jsonl(run_cluster.simulator.event_log, stream)
+    lines = stream.getvalue().strip().splitlines()
+    assert count == len(lines) > 0
+    record = json.loads(lines[0])
+    assert {"time", "party", "kind", "tag", "action",
+            "payload"} <= set(record)
+
+
+# -- CLI -----------------------------------------------------------------------
+
+def test_cli_parser_subcommands():
+    parser = build_parser()
+    args = parser.parse_args(["simulate", "--n", "7", "--t", "2"])
+    assert args.n == 7 and args.t == 2
+    args = parser.parse_args(["experiments", "f4", "--fast"])
+    assert args.names == ["f4"] and args.fast
+
+
+def test_cli_simulate(capsys):
+    assert main(["simulate", "--writes", "2", "--reads", "2",
+                 "--seed", "3", "--trace"]) == 0
+    out = capsys.readouterr().out
+    assert "linearizable" in out
+    assert "traffic under 'reg'" in out
+    assert "write w0" in out
+
+
+def test_cli_simulate_all_protocols(capsys):
+    for protocol in ("atomic", "martin", "no_listeners"):
+        assert main(["simulate", "--protocol", protocol, "--writes", "1",
+                     "--reads", "1"]) == 0
+
+
+def test_cli_info(capsys):
+    assert main(["info", "--n", "7", "--t", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "atomic_ns" in out and "n > 3t" in out
+
+
+def test_cli_experiments_selected(capsys):
+    assert main(["experiments", "f4"]) == 0
+    out = capsys.readouterr().out
+    assert "timestamp growth" in out
+
+
+def test_cli_experiments_unknown():
+    assert main(["experiments", "zz"]) == 2

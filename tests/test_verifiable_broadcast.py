@@ -1,0 +1,124 @@
+"""AVID-RBC verifiable broadcast of large values."""
+
+import pytest
+
+from repro.broadcast.verifiable import (
+    MSG_BLOCK,
+    VerifiableBroadcastServer,
+    v_broadcast,
+)
+from repro.common.ids import client_id, server_id
+from repro.config import SystemConfig
+from repro.faults.byzantine_servers import CrashServer
+from repro.net.process import Process
+from repro.net.schedulers import RandomScheduler
+from repro.net.simulator import Simulator
+
+
+class VrbcHost(Process):
+    def __init__(self, pid, config):
+        super().__init__(pid)
+        self.delivered = {}
+        self.deliveries = 0
+        self.vrbc = VerifiableBroadcastServer(self, config, self._deliver)
+
+    def _deliver(self, tag, client, value):
+        self.delivered[tag] = (client, value)
+        self.deliveries += 1
+
+
+def _network(n=4, t=1, seed=0, crashed=0, commitment="vector"):
+    config = SystemConfig(n=n, t=t, commitment=commitment)
+    simulator = Simulator(scheduler=RandomScheduler(seed))
+    hosts = []
+    for j in range(1, n + 1):
+        if j <= crashed:
+            hosts.append(simulator.add_process(
+                CrashServer(server_id(j), config)))
+        else:
+            hosts.append(simulator.add_process(
+                VrbcHost(server_id(j), config)))
+    sender = simulator.add_process(Process(client_id(1)))
+    return simulator, hosts, sender, config
+
+
+def _honest(hosts):
+    return [host for host in hosts if isinstance(host, VrbcHost)]
+
+
+def test_all_honest_deliver_full_value():
+    simulator, hosts, sender, config = _network()
+    value = b"payload " * 1000
+    v_broadcast(sender, "vb", value, config)
+    simulator.run()
+    for host in _honest(hosts):
+        assert host.delivered["vb"] == (sender.pid, value)
+
+
+@pytest.mark.parametrize("commitment", ["vector", "merkle"])
+def test_both_commitments(commitment):
+    simulator, hosts, sender, config = _network(commitment=commitment)
+    v_broadcast(sender, "vb", b"x" * 500, config)
+    simulator.run()
+    assert all(h.delivered["vb"][1] == b"x" * 500 for h in _honest(hosts))
+
+
+def test_delivery_with_t_crashed():
+    simulator, hosts, sender, config = _network(crashed=1, seed=3)
+    v_broadcast(sender, "vb", b"resilient", config)
+    simulator.run()
+    assert all(h.delivered["vb"][1] == b"resilient"
+               for h in _honest(hosts))
+
+
+def test_single_delivery_per_instance():
+    simulator, hosts, sender, config = _network()
+    v_broadcast(sender, "vb", b"once", config)
+    v_broadcast(sender, "vb", b"twice", config)  # same tag: echo-bound
+    simulator.run()
+    for host in _honest(hosts):
+        assert host.deliveries == 1
+
+
+def test_inconsistent_sender_delivers_nowhere():
+    simulator, hosts, sender, config = _network(seed=4)
+    blocks_a = config.coder.encode(b"A" * 64)
+    blocks_b = config.coder.encode(b"B" * 64)
+    mixed = [blocks_a[0], blocks_b[1], blocks_a[2], blocks_b[3]]
+    commitment, witnesses = config.commitment_scheme.commit(mixed)
+    for index, server in enumerate(simulator.server_pids, start=1):
+        sender.send(server, "vb", "avid-send", commitment,
+                    mixed[index - 1], witnesses[index - 1])
+    simulator.run()
+    assert all("vb" not in host.delivered for host in _honest(hosts))
+
+
+def test_forged_blocks_ignored():
+    simulator, hosts, sender, config = _network(crashed=1, seed=5)
+    byzantine = hosts[0]
+    value = b"true value " * 50
+    v_broadcast(sender, "vb", value, config)
+    fake_blocks = config.coder.encode(b"fake " * 50)
+    fake_commitment, fake_witnesses = \
+        config.commitment_scheme.commit(fake_blocks)
+    byzantine.send_to_servers("vb", MSG_BLOCK, fake_commitment,
+                              fake_blocks[0], fake_witnesses[0])
+    simulator.run()
+    assert all(h.delivered["vb"][1] == value for h in _honest(hosts))
+
+
+def test_buffers_released_after_delivery():
+    simulator, hosts, sender, config = _network()
+    v_broadcast(sender, "vb", b"z" * 2000, config)
+    simulator.run()
+    for host in _honest(hosts):
+        assert host.vrbc.storage_bytes() == 0
+
+
+def test_many_schedules():
+    for seed in range(6):
+        simulator, hosts, sender, config = _network(seed=seed)
+        v_broadcast(sender, "vb", b"seed-%d" % seed, config)
+        simulator.run()
+        assert all(h.delivered["vb"][1] == b"seed-%d" % seed
+                   for h in _honest(hosts))

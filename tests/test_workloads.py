@@ -1,0 +1,69 @@
+"""Workload generation and interleaved execution."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.common.errors import LivenessError
+from repro.config import SystemConfig
+from repro.net.schedulers import RandomScheduler
+from repro.workloads.generator import (
+    WorkloadOp,
+    make_values,
+    random_workload,
+    run_workload,
+)
+
+
+def test_make_values_unique_and_sized():
+    values = make_values(20, size=32)
+    assert len(set(values)) == 20
+    assert all(len(value) == 32 for value in values)
+
+
+def test_make_values_too_small_raises():
+    with pytest.raises(ValueError):
+        make_values(100, size=4)
+
+
+def test_random_workload_composition():
+    operations = random_workload(3, writes=5, reads=7, seed=1)
+    assert len(operations) == 12
+    writes = [op for op in operations if op.kind == "write"]
+    reads = [op for op in operations if op.kind == "read"]
+    assert len(writes) == 5 and len(reads) == 7
+    assert len({op.value for op in writes}) == 5
+    assert all(1 <= op.client_index <= 3 for op in operations)
+    assert len({op.oid for op in operations}) == 12
+
+
+def test_random_workload_deterministic():
+    assert random_workload(2, 3, 3, seed=9) == \
+        random_workload(2, 3, 3, seed=9)
+    assert random_workload(2, 3, 3, seed=9) != \
+        random_workload(2, 3, 3, seed=10)
+
+
+def test_run_workload_completes_all():
+    cluster = build_cluster(SystemConfig(n=4, t=1), protocol="atomic",
+                            num_clients=2,
+                            scheduler=RandomScheduler(2))
+    operations = random_workload(2, writes=3, reads=3, seed=2)
+    handles = run_workload(cluster, "reg", operations, seed=2)
+    assert len(handles) == 6
+    assert all(handle.done for handle in handles.values())
+
+
+def test_run_workload_reports_stall():
+    """With a majority of servers crashed, operations cannot finish."""
+    from repro.faults.byzantine_servers import CrashServer
+    cluster = build_cluster(
+        SystemConfig(n=4, t=1), protocol="atomic", num_clients=1,
+        scheduler=RandomScheduler(0),
+        server_overrides={j: (lambda pid, cfg: CrashServer(pid, cfg))
+                          for j in (1, 2)})
+    operations = [WorkloadOp(client_index=1, kind="write", oid="w",
+                             value=b"v")]
+    with pytest.raises(LivenessError):
+        run_workload(cluster, "reg", operations, seed=0)
+    handles = run_workload(cluster, "reg", [], seed=0)
+    assert handles == {}
