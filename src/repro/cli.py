@@ -7,6 +7,7 @@ Usage::
     python -m repro.cli experiments --fast
     python -m repro.cli experiments t1 f4 f6
     python -m repro.cli info --n 7 --t 2
+    python -m repro.cli lint src/repro --format json
 """
 
 from __future__ import annotations
@@ -107,6 +108,11 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.runner import run_from_args
+    return run_from_args(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -146,6 +152,13 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("--k", type=int, default=None)
     info.add_argument("--value-size", type=int, default=4096)
     info.set_defaults(handler=_cmd_info)
+
+    from repro.lint.runner import add_lint_arguments
+    lint = commands.add_parser(
+        "lint", help="protocol-aware static analysis (determinism, "
+                     "quorum arithmetic, wire/handler completeness)")
+    add_lint_arguments(lint)
+    lint.set_defaults(handler=_cmd_lint)
     return parser
 
 

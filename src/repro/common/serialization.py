@@ -35,10 +35,21 @@ def register_wire_type(cls: type) -> type:
 
     The class is encoded as its qualified name plus its dataclass fields in
     declaration order.  Field values must themselves be serializable.
+
+    Re-registering the same class is an idempotent no-op (safe under
+    module reloads); re-registering the same qualified name with a
+    *different* class raises :class:`SerializationError` — silently
+    clobbering the registry would let two incompatible layouts decode
+    each other's bytes.
     """
     if not dataclasses.is_dataclass(cls):
         raise SerializationError(f"{cls!r} is not a dataclass")
     name = f"{cls.__module__}.{cls.__qualname__}"
+    existing = _WIRE_TYPES_BY_NAME.get(name)
+    if existing is not None and existing[0] is not cls:
+        raise SerializationError(
+            f"wire type name {name!r} is already registered to "
+            f"{existing[0]!r}; refusing to re-register it as {cls!r}")
     fields = tuple(f.name for f in dataclasses.fields(cls))
     _WIRE_TYPES_BY_NAME[name] = (cls, fields)
     _WIRE_NAMES_BY_TYPE[cls] = name

@@ -10,7 +10,7 @@ reads wait-free under concurrent writes.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Set, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
 from repro.common.ids import PartyId
 from repro.common.serialization import encoded_size
@@ -29,7 +29,11 @@ class ListenerSet:
 
     def __init__(self, capacity: Optional[int] = None) -> None:
         self._entries: Dict[str, Tuple[Timestamp, PartyId]] = {}
-        self._retired: Set[str] = set()
+        # Insertion-ordered on purpose: a plain set would make any
+        # future iteration order depend on string hashing and break
+        # deterministic replay (flagged by repro.lint's determinism
+        # pack).
+        self._retired: Dict[str, None] = {}
         self.capacity = capacity
 
     def add(self, oid: str, timestamp: Timestamp, client: PartyId) -> bool:
@@ -53,7 +57,7 @@ class ListenerSet:
         """Handle ``read-complete``: drop the entry and refuse the
         identifier forever."""
         self._entries.pop(oid, None)
-        self._retired.add(oid)
+        self._retired[oid] = None
 
     def below(self, timestamp: Timestamp) -> Iterator[Tuple[str, PartyId]]:
         """Listeners whose recorded TIMESTAMP is strictly smaller."""

@@ -1,0 +1,64 @@
+"""Per-rule module scoping for :mod:`repro.lint`.
+
+Protocol-correctness rules (determinism, quorum arithmetic, handler
+completeness) only make sense on protocol modules; running the
+determinism pack on the workload generator, which seeds RNGs on
+purpose, would be noise.  Scoping is expressed as dotted-module-name
+prefixes and only applies to modules inside the ``repro`` package:
+modules scanned from anywhere else (e.g. test fixtures with seeded
+violations) are always in scope, so fixtures exercise every rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+#: Protocol modules: the paper's actual storage/broadcast/agreement
+#: logic plus the simulator substrate it runs on.
+PROTOCOL_PREFIXES: Tuple[str, ...] = (
+    "repro.core",
+    "repro.avid",
+    "repro.broadcast",
+    "repro.agreement",
+    "repro.net",
+    "repro.baselines",
+    "repro.faults",
+)
+
+#: Default scope per rule pack.  An empty tuple means "every module".
+DEFAULT_SCOPES: Dict[str, Tuple[str, ...]] = {
+    "determinism": PROTOCOL_PREFIXES,
+    "quorum": PROTOCOL_PREFIXES,
+    "handlers": PROTOCOL_PREFIXES,
+    "wire": (),
+}
+
+
+@dataclass
+class LintConfig:
+    """Scoping configuration handed to every rule.
+
+    ``scopes`` maps a rule-pack name to dotted-module prefixes the pack
+    applies to.  Scoping is only enforced for ``repro.*`` modules (see
+    module docstring); pass ``scope_all_packages=True`` to enforce it
+    everywhere.
+    """
+
+    scopes: Dict[str, Tuple[str, ...]] = field(
+        default_factory=lambda: dict(DEFAULT_SCOPES))
+    scope_all_packages: bool = False
+
+    def in_scope(self, pack: str, dotted: str) -> bool:
+        """Whether a rule pack applies to module ``dotted``."""
+        if dotted.startswith("repro.lint"):
+            # The linter does not lint itself with protocol rules.
+            return pack == "wire"
+        if not self.scope_all_packages and not (
+                dotted == "repro" or dotted.startswith("repro.")):
+            return True
+        prefixes = self.scopes.get(pack, ())
+        if not prefixes:
+            return True
+        return any(dotted == p or dotted.startswith(p + ".")
+                   for p in prefixes)

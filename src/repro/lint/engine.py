@@ -1,0 +1,213 @@
+"""Lint engine: module discovery, waiver parsing, and rule dispatch.
+
+The engine parses every scanned file into a :class:`ModuleInfo`
+(AST + source + per-line waivers), bundles them into a
+:class:`Project` with cross-module constant resolution, and runs each
+registered :class:`Rule` over the project.  Rules see the whole
+project, so cross-module checks (wire registry, handler completeness)
+are ordinary rules rather than special cases.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Protocol, Sequence, Set, Tuple
+
+from repro.lint.astutil import module_imports, module_string_constants
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding, LintReport
+
+_WAIVER_RE = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)")
+
+
+@dataclass
+class ModuleInfo:
+    """A parsed source module: path, dotted name, AST, and waivers."""
+
+    path: Path
+    dotted: str
+    tree: ast.Module
+    source_lines: List[str]
+    waivers: Dict[int, Set[str]] = field(default_factory=dict)
+    constants: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def display_path(self) -> str:
+        return str(self.path)
+
+    def waived_rules(self, line: int) -> Set[str]:
+        """Waivers covering ``line``: the line itself or, when the
+        preceding line is a standalone waiver comment, that line."""
+        rules = set(self.waivers.get(line, ()))
+        prev = line - 1
+        if prev in self.waivers:
+            text = self.source_lines[prev - 1].strip()
+            if text.startswith("#"):
+                rules |= self.waivers[prev]
+        return rules
+
+
+class Rule(Protocol):
+    """A pluggable lint rule.
+
+    ``pack`` names the rule pack for scoping (``determinism``,
+    ``quorum``, ``wire``, ``handlers``); ``rule_ids`` lists every
+    finding identifier the rule can emit (used by ``--list-rules`` and
+    ``--rules`` filtering); ``run`` yields findings over the whole
+    project and must itself respect ``config.in_scope(pack, dotted)``.
+    """
+
+    pack: str
+    rule_ids: Tuple[str, ...]
+
+    def run(self, project: "Project",
+            config: LintConfig) -> Iterable[Finding]:
+        """Yield findings over the whole project."""
+        ...  # pragma: no cover - protocol signature
+
+
+@dataclass
+class Project:
+    """All scanned modules plus cross-module constant resolution."""
+
+    modules: List[ModuleInfo]
+    by_dotted: Dict[str, ModuleInfo] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.by_dotted = {m.dotted: m for m in self.modules}
+        self._resolve_imported_constants()
+
+    def _resolve_imported_constants(self) -> None:
+        """Fold ``from mod import MSG_X [as Y]`` string constants into
+        each importer's constant table, so tag references resolve
+        module-qualified (two modules may both define ``MSG_SEND``
+        with different strings)."""
+        own: Dict[str, Dict[str, str]] = {
+            m.dotted: dict(m.constants) for m in self.modules}
+        for module in self.modules:
+            for local, source, name in module_imports(module.tree):
+                value = own.get(source, {}).get(name)
+                if value is not None and local not in module.constants:
+                    module.constants[local] = value
+
+    def scoped(self, pack: str, config: LintConfig) -> List[ModuleInfo]:
+        """The modules a rule pack applies to under ``config``."""
+        return [m for m in self.modules if config.in_scope(pack, m.dotted)]
+
+
+def _parse_waivers(source_lines: Sequence[str]) -> Dict[int, Set[str]]:
+    waivers: Dict[int, Set[str]] = {}
+    for lineno, text in enumerate(source_lines, start=1):
+        match = _WAIVER_RE.search(text)
+        if match:
+            rules = {part.strip() for part in match.group(1).split(",")}
+            waivers[lineno] = {r for r in rules if r}
+    return waivers
+
+
+def _dotted_for(path: Path, root: Path, package: Optional[str]) -> str:
+    rel = path.relative_to(root)
+    parts = list(rel.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    if package:
+        parts.insert(0, package)
+    return ".".join(parts) if parts else (package or path.stem)
+
+
+def load_module(path: Path, dotted: Optional[str] = None) -> ModuleInfo:
+    """Parse one file into a :class:`ModuleInfo`."""
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    lines = source.splitlines()
+    info = ModuleInfo(
+        path=path,
+        dotted=dotted or path.stem,
+        tree=tree,
+        source_lines=lines,
+        waivers=_parse_waivers(lines),
+    )
+    info.constants = module_string_constants(tree)
+    return info
+
+
+def discover(paths: Sequence[Path]) -> List[ModuleInfo]:
+    """Find and parse every ``.py`` file under ``paths``.
+
+    Directory roots that contain ``__init__.py`` are treated as
+    packages, so ``src/repro`` yields dotted names like
+    ``repro.core.atomic``.  Discovery order is sorted for
+    deterministic output.
+    """
+    modules: List[ModuleInfo] = []
+    seen: Set[Path] = set()
+    for raw in paths:
+        root = Path(raw)
+        if root.is_file():
+            if root.resolve() not in seen:
+                seen.add(root.resolve())
+                modules.append(load_module(root))
+            continue
+        if not root.is_dir():
+            raise FileNotFoundError(f"no such file or directory: {root}")
+        package = root.name if (root / "__init__.py").exists() else None
+        for path in sorted(root.rglob("*.py")):
+            resolved = path.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            modules.append(
+                load_module(path, _dotted_for(path, root, package)))
+    return modules
+
+
+def _apply_waivers(module_index: Dict[str, ModuleInfo],
+                   finding: Finding) -> Finding:
+    module = module_index.get(finding.path)
+    if module is None:
+        return finding
+    waived = module.waived_rules(finding.line)
+    if finding.rule in waived or "all" in waived:
+        return Finding(rule=finding.rule, path=finding.path,
+                       line=finding.line, message=finding.message,
+                       severity=finding.severity, waived=True)
+    return finding
+
+
+def run_lint(paths: Sequence[Path],
+             config: Optional[LintConfig] = None,
+             rules: Optional[Sequence[Rule]] = None,
+             only: Optional[Set[str]] = None) -> LintReport:
+    """Lint ``paths`` and return a :class:`LintReport`.
+
+    ``only`` restricts the run to rules whose pack name or any rule id
+    matches; ``None`` runs everything.
+    """
+    from repro.lint.rules import all_rules
+
+    config = config or LintConfig()
+    active_rules = list(rules) if rules is not None else all_rules()
+    if only:
+        active_rules = [
+            r for r in active_rules
+            if r.pack in only or any(rid in only for rid in r.rule_ids)]
+    project = Project(modules=discover(paths))
+    module_index = {m.display_path: m for m in project.modules}
+
+    findings: List[Finding] = []
+    seen: Set[Finding] = set()
+    for rule in active_rules:
+        for finding in rule.run(project, config):
+            finding = _apply_waivers(module_index, finding)
+            if finding not in seen:
+                seen.add(finding)
+                findings.append(finding)
+    findings.sort(key=Finding.sort_key)
+    return LintReport(
+        findings=findings,
+        modules_checked=len(project.modules),
+        rules_run=tuple(r.pack for r in active_rules),
+    )

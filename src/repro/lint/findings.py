@@ -1,0 +1,77 @@
+"""Finding and report types for :mod:`repro.lint`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class Finding:
+    """A single lint finding anchored to a file and line.
+
+    ``rule`` is the stable rule identifier (e.g. ``det-entropy``,
+    ``quorum-intersection``), ``severity`` is ``"error"`` or
+    ``"warning"``, and ``waived`` records whether an inline
+    ``# lint: disable=<rule>`` comment suppressed the finding.
+    """
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    severity: str = "error"
+    waived: bool = False
+
+    def sort_key(self) -> Tuple[str, int, str]:
+        """Stable ordering: path, then line, then rule id."""
+        return (self.path, self.line, self.rule)
+
+    def render(self) -> str:
+        """One-line ``path:line: severity: [rule] message`` form."""
+        suffix = "  [waived]" if self.waived else ""
+        return (f"{self.path}:{self.line}: {self.severity}: "
+                f"[{self.rule}] {self.message}{suffix}")
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-serializable form of the finding."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "severity": self.severity,
+            "waived": self.waived,
+        }
+
+
+@dataclass
+class LintReport:
+    """Outcome of a lint run: all findings plus scan statistics."""
+
+    findings: List[Finding] = field(default_factory=list)
+    modules_checked: int = 0
+    rules_run: Tuple[str, ...] = ()
+
+    @property
+    def active(self) -> List[Finding]:
+        """Findings not suppressed by a waiver comment."""
+        return [f for f in self.findings if not f.waived]
+
+    @property
+    def waived(self) -> List[Finding]:
+        return [f for f in self.findings if f.waived]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.active else 0
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-serializable form of the whole report."""
+        return {
+            "modules_checked": self.modules_checked,
+            "rules_run": list(self.rules_run),
+            "active": len(self.active),
+            "waived": len(self.waived),
+            "findings": [f.to_json() for f in self.findings],
+        }

@@ -1,0 +1,34 @@
+"""Rule packs for :mod:`repro.lint`.
+
+Each pack is a class implementing :class:`repro.lint.engine.Rule`.
+:func:`all_rules` is the default registry used by the runner; add new
+packs here (see ``docs/LINTING.md`` for a walkthrough).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lint.engine import Rule
+from repro.lint.rules.determinism import DeterminismRule
+from repro.lint.rules.handlers import HandlerCompletenessRule
+from repro.lint.rules.quorum import QuorumArithmeticRule
+from repro.lint.rules.wire_registry import WireRegistryRule
+
+__all__ = [
+    "DeterminismRule",
+    "HandlerCompletenessRule",
+    "QuorumArithmeticRule",
+    "WireRegistryRule",
+    "all_rules",
+]
+
+
+def all_rules() -> List[Rule]:
+    """The default rule registry, in deterministic order."""
+    return [
+        DeterminismRule(),
+        QuorumArithmeticRule(),
+        WireRegistryRule(),
+        HandlerCompletenessRule(),
+    ]

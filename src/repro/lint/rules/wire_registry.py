@@ -1,0 +1,247 @@
+"""Wire-registry rule pack.
+
+The canonical serialization layer (:mod:`repro.common.serialization`)
+measures communication complexity by encoding payloads; a dataclass
+that crosses the wire without a ``@register_wire_type`` registration
+fails to encode (or worse, is silently measured wrong), and a
+registered type nothing references is dead weight in the registry.
+
+* ``wire-unregistered`` — a dataclass constructed inside a
+  ``send``/``send_to_servers`` payload, or matched with
+  ``isinstance(<payload expr>, Cls)``, that carries no
+  ``@register_wire_type`` decoration.
+* ``wire-dead`` — a ``@register_wire_type``-registered class with no
+  references outside its defining module (severity ``warning``).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.astutil import (
+    contains_name,
+    iter_functions,
+    single_assignment_table,
+    terminal_name,
+)
+from repro.lint.config import LintConfig
+from repro.lint.engine import ModuleInfo, Project
+from repro.lint.findings import Finding
+
+RULE_UNREGISTERED = "wire-unregistered"
+RULE_DEAD = "wire-dead"
+
+_DATACLASS_DECORATORS = {"dataclass"}
+_REGISTER_DECORATORS = {"register_wire_type"}
+#: Payload argument start index per send-style callable.
+_SEND_PAYLOAD_START = {"send": 3, "send_to_servers": 2}
+
+
+@dataclass
+class _DataclassDef:
+    name: str
+    module: str
+    line: int
+    registered: bool
+    register_line: int = 0
+
+
+@dataclass
+class _Usage:
+    name: str
+    module: str
+    line: int
+    context: str
+    imports: Dict[str, str] = field(default_factory=dict)
+
+
+def _decorator_terminal(decorator: ast.expr) -> Optional[str]:
+    if isinstance(decorator, ast.Call):
+        decorator = decorator.func
+    return terminal_name(decorator)
+
+
+def _collect_dataclasses(module: ModuleInfo) -> List[_DataclassDef]:
+    defs: List[_DataclassDef] = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        names = [_decorator_terminal(d) for d in node.decorator_list]
+        if not any(n in _DATACLASS_DECORATORS for n in names):
+            continue
+        registered = any(n in _REGISTER_DECORATORS for n in names)
+        register_line = node.lineno
+        defs.append(_DataclassDef(
+            name=node.name, module=module.dotted, line=node.lineno,
+            registered=registered, register_line=register_line))
+    # Functional registration: register_wire_type(Cls) at module level.
+    by_name = {d.name: d for d in defs}
+    for node in ast.walk(module.tree):
+        if (isinstance(node, ast.Call)
+                and terminal_name(node.func) in _REGISTER_DECORATORS
+                and node.args and isinstance(node.args[0], ast.Name)):
+            target = by_name.get(node.args[0].id)
+            if target is not None:
+                target.registered = True
+                target.register_line = node.lineno
+    return defs
+
+
+def _class_imports(module: ModuleInfo) -> Dict[str, str]:
+    """Local name -> source module for ``from X import Cls`` bindings."""
+    table: Dict[str, str] = {}
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                if alias.name != "*":
+                    table[alias.asname or alias.name] = node.module
+    return table
+
+
+def _payload_class_refs(node: ast.expr,
+                        locals_table: Dict[str, ast.expr]) -> Iterator[
+                            Tuple[str, ast.expr]]:
+    """Class names plausibly instantiated inside a payload expression."""
+    if isinstance(node, (ast.Tuple, ast.List)):
+        for elt in node.elts:
+            yield from _payload_class_refs(elt, locals_table)
+        return
+    if isinstance(node, ast.Starred):
+        yield from _payload_class_refs(node.value, locals_table)
+        return
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id[:1].isupper():
+            yield (node.func.id, node)
+        return
+    if isinstance(node, ast.Name) and node.id in locals_table:
+        value = locals_table[node.id]
+        if (isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id[:1].isupper()):
+            yield (value.func.id, node)
+
+
+def _collect_usages(module: ModuleInfo) -> List[_Usage]:
+    usages: List[_Usage] = []
+    imports = _class_imports(module)
+
+    def add(name: str, node: ast.AST, context: str) -> None:
+        usages.append(_Usage(name=name, module=module.dotted,
+                             line=getattr(node, "lineno", 1),
+                             context=context, imports=imports))
+
+    for func in iter_functions(module.tree):
+        locals_table = single_assignment_table(func)
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            fname = terminal_name(node.func)
+            if (fname in _SEND_PAYLOAD_START
+                    and isinstance(node.func, ast.Attribute)):
+                start = _SEND_PAYLOAD_START[fname]
+                for arg in node.args[start:]:
+                    for cls, at in _payload_class_refs(arg, locals_table):
+                        add(cls, at, "payload")
+            elif (fname == "isinstance" and len(node.args) == 2
+                  and contains_name(node.args[0], "payload")):
+                classes = node.args[1]
+                elts = (classes.elts
+                        if isinstance(classes, ast.Tuple) else [classes])
+                for elt in elts:
+                    name = terminal_name(elt)
+                    if name and name[:1].isupper():
+                        add(name, node, "isinstance")
+    return usages
+
+
+def _reference_modules(project: Project, cls: _DataclassDef,
+                       scope: List[ModuleInfo]) -> Set[str]:
+    """Modules other than the defining one that mention the class name."""
+    refs: Set[str] = set()
+    for module in scope:
+        if module.dotted == cls.module:
+            continue
+        for node in ast.walk(module.tree):
+            if ((isinstance(node, ast.Name) and node.id == cls.name)
+                    or (isinstance(node, ast.Attribute)
+                        and node.attr == cls.name)
+                    or (isinstance(node, ast.alias)
+                        and node.name.split(".")[-1] == cls.name)):
+                refs.add(module.dotted)
+                break
+    return refs
+
+
+class WireRegistryRule:
+    """Cross-check payload dataclasses against the wire-type registry."""
+
+    pack = "wire"
+    rule_ids: Tuple[str, ...] = (RULE_UNREGISTERED, RULE_DEAD)
+
+    def run(self, project: Project,
+            config: LintConfig) -> Iterable[Finding]:
+        """Yield wire-registry findings over the scoped modules."""
+        scope = project.scoped(self.pack, config)
+        defs: List[_DataclassDef] = []
+        usages: List[_Usage] = []
+        for module in scope:
+            defs.extend(_collect_dataclasses(module))
+            usages.extend(_collect_usages(module))
+
+        by_name: Dict[str, List[_DataclassDef]] = {}
+        for d in defs:
+            by_name.setdefault(d.name, []).append(d)
+
+        module_paths = {m.dotted: m.display_path for m in scope}
+
+        for usage in usages:
+            candidates = by_name.get(usage.name, [])
+            resolved = self._resolve_usage(usage, candidates)
+            if resolved is None or resolved.registered:
+                continue
+            yield Finding(
+                rule=RULE_UNREGISTERED,
+                path=module_paths[usage.module],
+                line=usage.line,
+                message=(
+                    f"dataclass '{usage.name}' (defined in "
+                    f"{resolved.module}) is used as a message payload "
+                    "but is not registered with register_wire_type"))
+
+        used_names = {u.name for u in usages}
+        for d in defs:
+            if not d.registered:
+                continue
+            if d.name in used_names:
+                continue
+            if _reference_modules(project, d, scope):
+                continue
+            yield Finding(
+                rule=RULE_DEAD,
+                path=module_paths[d.module],
+                line=d.line,
+                severity="warning",
+                message=(
+                    f"wire type '{d.name}' is registered but never "
+                    "referenced outside its defining module; remove the "
+                    "registration or the class"))
+
+    @staticmethod
+    def _resolve_usage(usage: _Usage,
+                       candidates: List[_DataclassDef]) -> Optional[
+                           _DataclassDef]:
+        if not candidates:
+            return None
+        for candidate in candidates:
+            if candidate.module == usage.module:
+                return candidate
+        source = usage.imports.get(usage.name)
+        if source is not None:
+            for candidate in candidates:
+                if candidate.module == source:
+                    return candidate
+        if len(candidates) == 1:
+            return candidates[0]
+        return None

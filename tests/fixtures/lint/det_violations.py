@@ -1,0 +1,34 @@
+"""Fixture: deliberate determinism violations (never imported).
+
+Line numbers are asserted in tests/test_lint_rules.py — append only.
+"""
+
+import secrets                                  # line 6: det-entropy
+import time                                     # line 7: det-wallclock
+import random
+
+
+class Flaky:
+    def __init__(self):
+        self.pending = {"a", "b", "c"}
+
+    def token(self):
+        return secrets.token_hex(8)
+
+    def jitter(self):
+        return random.random()                  # line 19: det-entropy
+
+    def stamp(self):
+        return time.time()                      # line 22: det-wallclock
+
+    def drain(self):
+        out = []
+        for item in self.pending:               # line 26: det-set-order
+            out.append(item)
+        return out
+
+    def order(self, items):
+        return sorted(items, key=id)            # line 31: det-id-order
+
+    def fresh_rng(self):
+        return random.Random()                  # line 34: det-entropy

@@ -1,0 +1,35 @@
+"""Fixture: deliberate quorum-arithmetic violations (never imported).
+
+Line numbers are asserted in tests/test_lint_rules.py — append only.
+"""
+
+
+class BadProtocol:
+    def __init__(self, config, process):
+        self.config = config
+        self.process = process
+
+    def wait_literal(self, tag):
+        # line 14: quorum-literal (bare count)
+        return self.process.condition_quorum(tag, "ack", 3)
+
+    def wait_off_by_one(self, tag):
+        # n - t - 1 quorums need not intersect in t + 1 parties;
+        # flagged at the wait site below.
+        needed = self.config.n - self.config.t - 1
+        return self.process.condition_quorum(tag, "echo", needed)  # line 20
+
+    def wait_unreachable(self, acks):
+        # line 24: quorum-unreachable (2t + 2 > n - t at n = 3t + 1)
+        return len(acks) >= 2 * self.config.t + 2
+
+    def wait_sound(self, tag):
+        return self.process.condition_quorum(
+            tag, "ready", self.config.quorum)
+
+    def feed(self, recipient, tag):
+        # Matching sends so this fixture stays quiet under the
+        # handler-completeness pack.
+        self.process.send(recipient, tag, "ack", b"")
+        self.process.send(recipient, tag, "echo", b"")
+        self.process.send(recipient, tag, "ready", b"")

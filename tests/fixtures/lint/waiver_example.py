@@ -1,0 +1,10 @@
+"""Fixture: waived and unwaived findings side by side (never imported).
+
+Line numbers are asserted in tests/test_lint_rules.py — append only.
+"""
+
+import secrets  # lint: disable=det-entropy     line 6: waived
+import time                                     # line 7: det-wallclock
+
+# lint: disable=det-wallclock
+import time as wall                             # line 10: waived (prev line)

@@ -1,0 +1,14 @@
+"""Fixture: a registered wire type nothing references (never imported).
+
+Line numbers are asserted in tests/test_lint_rules.py — append only.
+"""
+
+from dataclasses import dataclass
+
+from repro.common.serialization import register_wire_type
+
+
+@register_wire_type
+@dataclass(frozen=True)
+class DeadPayload:                              # line 13: wire-dead
+    value: int

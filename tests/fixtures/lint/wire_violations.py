@@ -1,0 +1,30 @@
+"""Fixture: deliberate wire-registry violations (never imported).
+
+Line numbers are asserted in tests/test_lint_rules.py — append only.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class UnregisteredPayload:
+    value: int
+
+
+class BadSender:
+    def __init__(self, process):
+        self.process = process
+
+    def publish(self, recipient, tag):
+        payload = UnregisteredPayload(7)
+        # line 21: wire-unregistered
+        self.process.send(recipient, tag, "publish", payload)
+
+    def matches(self, payload):
+        # line 25: wire-unregistered (isinstance on a payload)
+        return isinstance(payload, UnregisteredPayload)
+
+    def attach(self):
+        # Matching dispatch arm so this fixture stays quiet under the
+        # handler-completeness pack.
+        self.process.on("publish", self.matches)

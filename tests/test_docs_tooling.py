@@ -13,7 +13,8 @@ def test_renders_every_module():
     text = gen_api_docs.render()
     for module in ("repro.core.atomic", "repro.avid.disperse",
                    "repro.crypto.threshold", "repro.baselines.goodson",
-                   "repro.net.simulator", "repro.store.blobstore"):
+                   "repro.net.simulator", "repro.store.blobstore",
+                   "repro.lint.engine", "repro.lint.rules.quorum"):
         assert f"## `{module}`" in text, module
 
 

@@ -128,3 +128,31 @@ def test_determinism_and_injectivity(a, b):
     assert encode(a) == encode(a)
     if encode(a) == encode(b):
         assert a == b
+
+
+def test_reregistering_same_class_is_idempotent():
+    @register_wire_type
+    @dataclasses.dataclass(frozen=True)
+    class Stable:
+        x: int
+
+    assert register_wire_type(Stable) is Stable
+    assert decode(encode(Stable(3))) == Stable(3)
+
+
+def test_duplicate_name_with_different_class_rejected():
+    @register_wire_type
+    @dataclasses.dataclass(frozen=True)
+    class Original:
+        x: int
+
+    @dataclasses.dataclass(frozen=True)
+    class Impostor:
+        x: int
+        y: int
+
+    Impostor.__qualname__ = Original.__qualname__
+    with pytest.raises(SerializationError):
+        register_wire_type(Impostor)
+    # The registry still decodes the original layout.
+    assert decode(encode(Original(5))) == Original(5)
