@@ -9,10 +9,13 @@ export for external analysis.
 from __future__ import annotations
 
 import json
-from typing import Iterable, List, Optional, Sequence, TextIO
+from typing import Dict, Iterable, List, Optional, Sequence, TextIO, Tuple
 
 from repro.net.message import EVENT_INPUT, EVENT_OUTPUT, LocalEvent
 from repro.net.metrics import Metrics
+
+#: completion output action -> the invocation input action it terminates
+COMPLETION_ACTIONS = {"ack": "write", "read": "read"}
 
 
 def _payload_repr(payload) -> str:
@@ -51,23 +54,72 @@ def format_timeline(events: Sequence[LocalEvent],
     return "\n".join(lines) if lines else "(no matching events)"
 
 
-def operation_summary(events: Sequence[LocalEvent]) -> str:
-    """One line per register operation: invocation, completion, duration."""
-    invocations = {}
-    lines: List[str] = []
+def match_operations(events: Sequence[LocalEvent]) -> Tuple[
+        List[Tuple[LocalEvent, LocalEvent]], List[LocalEvent],
+        List[LocalEvent]]:
+    """Pair operation invocations with their completing output actions.
+
+    A completion (``ack`` for writes, ``read`` for reads) is matched to
+    the *most recent still-open* invocation with the same tag, operation
+    identifier, client, and kind — so a reused operation key closes its
+    invocations LIFO instead of silently overwriting earlier ones.
+
+    Returns ``(pairs, unmatched_completions, open_invocations)``:
+    matched pairs in completion order, completions with no open
+    invocation (e.g. a truncated event log), and invocations that never
+    completed, in invocation order.
+    """
+    open_by_key: Dict[Tuple, List[LocalEvent]] = {}
+    pairs: List[Tuple[LocalEvent, LocalEvent]] = []
+    unmatched: List[LocalEvent] = []
     for event in events:
-        key = (event.tag, event.payload[0] if event.payload else None)
+        oid = event.payload[0] if event.payload else None
         if event.kind == EVENT_INPUT and event.action in ("write", "read"):
-            invocations[key] = event
-        elif event.kind == EVENT_OUTPUT and event.action in ("ack", "read"):
-            start = invocations.get(key)
-            if start is None:
-                continue
-            duration = event.time - start.time
-            lines.append(
-                f"{start.action:<5} {key[1]:<12} tag={event.tag:<12} "
-                f"client={start.party} t={start.time}->{event.time} "
-                f"({duration} events)")
+            key = (event.tag, oid, event.party, event.action)
+            open_by_key.setdefault(key, []).append(event)
+        elif event.kind == EVENT_OUTPUT \
+                and event.action in COMPLETION_ACTIONS:
+            key = (event.tag, oid, event.party,
+                   COMPLETION_ACTIONS[event.action])
+            stack = open_by_key.get(key)
+            if stack:
+                pairs.append((stack.pop(), event))
+            else:
+                unmatched.append(event)
+    open_invocations = [invocation
+                        for stack in open_by_key.values()
+                        for invocation in stack]
+    open_invocations.sort(key=lambda e: e.time)
+    return pairs, unmatched, open_invocations
+
+
+def operation_summary(events: Sequence[LocalEvent]) -> str:
+    """One line per register operation: invocation, completion, duration.
+
+    Completions are matched to the most recent open invocation of the
+    same ``(tag, oid, client, kind)``; completions that match no open
+    invocation and invocations that never completed are flagged instead
+    of being silently dropped.
+    """
+    pairs, unmatched, still_open = match_operations(events)
+    lines: List[str] = []
+    for start, end in pairs:
+        oid = start.payload[0] if start.payload else None
+        duration = end.time - start.time
+        lines.append(
+            f"{start.action:<5} {oid:<12} tag={end.tag:<12} "
+            f"client={start.party} t={start.time}->{end.time} "
+            f"({duration} events)")
+    for event in unmatched:
+        oid = event.payload[0] if event.payload else None
+        lines.append(f"?     {oid:<12} tag={event.tag:<12} "
+                     f"client={event.party} t=?->{event.time} "
+                     f"(unmatched completion)")
+    for event in still_open:
+        oid = event.payload[0] if event.payload else None
+        lines.append(f"{event.action:<5} {oid:<12} tag={event.tag:<12} "
+                     f"client={event.party} t={event.time}->? "
+                     f"(never completed)")
     return "\n".join(lines) if lines else "(no operations)"
 
 

@@ -56,6 +56,10 @@ MSG_SEND = "avid-send"
 MSG_ECHO = "avid-echo"
 MSG_READY = "avid-ready"
 
+#: every wire message type of Protocol Disperse, for observability
+#: tooling (per-mtype instruments, phase classification)
+MESSAGE_TYPES = (MSG_SEND, MSG_ECHO, MSG_READY)
+
 #: deliver(tag, commitment, client, block, witness)
 CompleteCallback = Callable[[str, Any, PartyId, bytes, Any], None]
 

@@ -43,6 +43,10 @@ MSG_SEND = "rbc-send"
 MSG_ECHO = "rbc-echo"
 MSG_READY = "rbc-ready"
 
+#: every wire message type of reliable broadcast, for observability
+#: tooling (per-mtype instruments, phase classification)
+MESSAGE_TYPES = (MSG_SEND, MSG_ECHO, MSG_READY)
+
 #: deliver(tag, origin, value)
 DeliverCallback = Callable[[str, PartyId, Any], None]
 

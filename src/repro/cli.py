@@ -4,7 +4,9 @@ Usage::
 
     python -m repro.cli simulate --protocol atomic_ns --n 4 --t 1 \
         --writes 3 --reads 3 --seed 7 --trace
-    python -m repro.cli experiments --fast
+    python -m repro.cli trace --protocol atomic --format perfetto \
+        --out trace.json
+    python -m repro.cli experiments --fast --bench-dir out/
     python -m repro.cli experiments t1 f4 f6
     python -m repro.cli info --n 7 --t 2
     python -m repro.cli lint src/repro --format json
@@ -13,17 +15,27 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from repro.analysis.history import HistoryRecorder
 from repro.analysis.trace import (
+    export_events_jsonl,
     operation_summary,
     traffic_summary,
 )
 from repro.cluster import PROTOCOLS, build_cluster
 from repro.config import SystemConfig
 from repro.net.schedulers import RandomScheduler
+from repro.obs import (
+    BENCH_ENV,
+    TraceRecorder,
+    export_perfetto,
+    export_trace_jsonl,
+    operation_breakdown_lines,
+    text_report,
+)
 from repro.workloads.generator import random_workload, run_workload
 
 _EXPERIMENTS = {
@@ -45,30 +57,76 @@ _EXPERIMENTS = {
 }
 
 
-def _cmd_simulate(args: argparse.Namespace) -> int:
+def _traced_run(args: argparse.Namespace) -> tuple:
+    """Build a cluster with a tracer attached, run the random workload,
+    and return ``(cluster, recorder)``."""
     config = SystemConfig(n=args.n, t=args.t, k=args.k,
                           commitment=args.commitment, seed=args.seed)
     cluster = build_cluster(config, protocol=args.protocol,
                             num_clients=args.clients,
                             scheduler=RandomScheduler(args.seed))
+    recorder = TraceRecorder()
+    recorder.attach(cluster.simulator)
     operations = random_workload(args.clients, writes=args.writes,
                                  reads=args.reads, seed=args.seed,
                                  value_size=args.value_size)
     run_workload(cluster, "reg", operations, seed=args.seed)
+    return cluster, recorder
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    cluster, recorder = _traced_run(args)
     order = HistoryRecorder(cluster, "reg").check()
     print(f"protocol={args.protocol} n={args.n} t={args.t} "
-          f"k={config.k} seed={args.seed}")
+          f"k={cluster.config.k} seed={args.seed}")
     print(f"operations: {args.writes} writes + {args.reads} reads, "
           f"all terminated, history linearizable")
     print(f"witness linearization: {' < '.join(order)}")
     print(traffic_summary(cluster.simulator.metrics, "reg"))
+    print("\nlatency attribution (logical ticks on the critical path):")
+    for line in operation_breakdown_lines(recorder):
+        print(f"  {line}")
     if args.trace:
         print("\noperations:")
         print(operation_summary(cluster.simulator.event_log))
+    if args.trace_out:
+        with open(args.trace_out, "w", encoding="utf-8") as stream:
+            count = export_events_jsonl(cluster.simulator.event_log,
+                                        stream)
+        print(f"\nwrote {count} events to {args.trace_out}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    cluster, recorder = _traced_run(args)
+    HistoryRecorder(cluster, "reg").check()
+    if args.out:
+        stream = open(args.out, "w", encoding="utf-8")
+    else:
+        stream = sys.stdout
+    try:
+        if args.format == "perfetto":
+            count = export_perfetto(recorder, stream)
+            what = f"{count} trace events"
+        elif args.format == "jsonl":
+            count = export_trace_jsonl(recorder, stream)
+            what = f"{count} trace lines"
+        else:
+            stream.write(text_report(recorder))
+            stream.write("\n")
+            what = "text report"
+    finally:
+        if args.out:
+            stream.close()
+    if args.out:
+        print(f"wrote {what} ({args.format}) to {args.out}")
     return 0
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
+    if args.bench_dir:
+        os.makedirs(args.bench_dir, exist_ok=True)
+        os.environ[BENCH_ENV] = args.bench_dir
     names = [name.lower() for name in args.names] or list(_EXPERIMENTS)
     unknown = [name for name in names if name not in _EXPERIMENTS]
     if unknown:
@@ -113,6 +171,23 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run_from_args(args)
 
 
+def _add_workload_arguments(parser: argparse.ArgumentParser,
+                            default_protocol: str) -> None:
+    """Cluster/workload options shared by ``simulate`` and ``trace``."""
+    parser.add_argument("--protocol", default=default_protocol,
+                        choices=sorted(PROTOCOLS))
+    parser.add_argument("--n", type=int, default=4)
+    parser.add_argument("--t", type=int, default=1)
+    parser.add_argument("--k", type=int, default=None)
+    parser.add_argument("--commitment", default="vector",
+                        choices=["vector", "merkle"])
+    parser.add_argument("--clients", type=int, default=2)
+    parser.add_argument("--writes", type=int, default=3)
+    parser.add_argument("--reads", type=int, default=3)
+    parser.add_argument("--value-size", type=int, default=256)
+    parser.add_argument("--seed", type=int, default=0)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -122,27 +197,33 @@ def build_parser() -> argparse.ArgumentParser:
 
     simulate = commands.add_parser(
         "simulate", help="run a random workload on a simulated cluster")
-    simulate.add_argument("--protocol", default="atomic_ns",
-                          choices=sorted(PROTOCOLS))
-    simulate.add_argument("--n", type=int, default=4)
-    simulate.add_argument("--t", type=int, default=1)
-    simulate.add_argument("--k", type=int, default=None)
-    simulate.add_argument("--commitment", default="vector",
-                          choices=["vector", "merkle"])
-    simulate.add_argument("--clients", type=int, default=2)
-    simulate.add_argument("--writes", type=int, default=3)
-    simulate.add_argument("--reads", type=int, default=3)
-    simulate.add_argument("--value-size", type=int, default=256)
-    simulate.add_argument("--seed", type=int, default=0)
+    _add_workload_arguments(simulate, default_protocol="atomic_ns")
     simulate.add_argument("--trace", action="store_true",
                           help="print the per-operation timeline")
+    simulate.add_argument("--trace-out", metavar="FILE", default=None,
+                          help="write the event log as JSON lines")
     simulate.set_defaults(handler=_cmd_simulate)
+
+    trace = commands.add_parser(
+        "trace", help="run a workload and export its causal trace "
+                      "(spans, critical paths, instruments)")
+    _add_workload_arguments(trace, default_protocol="atomic")
+    trace.add_argument("--format", default="perfetto",
+                       choices=["perfetto", "jsonl", "text"],
+                       help="perfetto: Chrome trace-event JSON; jsonl: "
+                            "raw causal records; text: human report")
+    trace.add_argument("--out", metavar="FILE", default=None,
+                       help="output file (default: stdout)")
+    trace.set_defaults(handler=_cmd_trace)
 
     experiments = commands.add_parser(
         "experiments", help="run evaluation experiments (T1-T2, F1-F13)")
     experiments.add_argument("names", nargs="*",
                              help="experiment ids (default: all)")
     experiments.add_argument("--fast", action="store_true")
+    experiments.add_argument("--bench-dir", metavar="DIR", default=None,
+                             help="emit machine-readable BENCH_*.json "
+                                  "files into DIR")
     experiments.set_defaults(handler=_cmd_experiments)
 
     info = commands.add_parser(

@@ -63,8 +63,13 @@ def rbc_tag(register_tag: str, oid: str) -> str:
     return subtag(register_tag, _RBC_PREFIX + oid)
 
 
-def _parse_subtag(tag: str) -> Optional[Tuple[str, str, str]]:
-    """Split ``ID|disp.oid`` / ``ID|rbc.oid`` into (ID, kind, oid)."""
+def parse_subtag(tag: str) -> Optional[Tuple[str, str, str]]:
+    """Split ``ID|disp.oid`` / ``ID|rbc.oid`` into ``(ID, kind, oid)``.
+
+    Returns ``None`` for tags that are not write sub-instances.  Public
+    because the observability plane (:mod:`repro.obs.spans`) uses the
+    same decomposition to bind sub-protocol traffic to operations.
+    """
     head, sep, last = tag.rpartition(TAG_SEP)
     if not sep:
         return None
@@ -72,6 +77,10 @@ def _parse_subtag(tag: str) -> Optional[Tuple[str, str, str]]:
         if last.startswith(prefix):
             return head, prefix[:-1], last[len(prefix):]
     return None
+
+
+# internal alias retained for the server handlers below
+_parse_subtag = parse_subtag
 
 
 @dataclass

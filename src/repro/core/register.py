@@ -44,6 +44,9 @@ class OperationHandle:
     complete_time: Optional[int] = None
     #: causal depth at completion == operation latency in message rounds
     latency_rounds: Optional[int] = None
+    #: ``msg_id`` of the delivery that completed the operation — the
+    #: anchor for :mod:`repro.obs.critical_path`'s happens-before walk
+    completion_cause: Optional[int] = None
 
     @property
     def done(self) -> bool:
@@ -121,6 +124,7 @@ class RegisterClientBase(Process):
         self.output(handle.tag, "ack", handle.oid)
         handle._complete(self.simulator.time)
         handle.latency_rounds = self.activation_depth
+        handle.completion_cause = self.activation_msg_id
 
     def _finish_read(self, handle: OperationHandle, value: bytes,
                      timestamp: Any) -> None:
@@ -128,6 +132,7 @@ class RegisterClientBase(Process):
         handle._complete(self.simulator.time, result=value,
                          timestamp=timestamp)
         handle.latency_rounds = self.activation_depth
+        handle.completion_cause = self.activation_msg_id
 
     # -- protocol threads (subclass responsibility) ---------------------------
 

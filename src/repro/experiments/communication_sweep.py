@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 from repro.experiments.common import (
+    emit_bench,
     fmt_bytes,
     measure_isolated_costs,
     render_table,
@@ -103,6 +104,8 @@ def main() -> None:
     crossover = read_crossover(points)
     print(f"\nread-cost crossover (erasure beats replication): "
           f"|F| >= {fmt_bytes(crossover) if crossover else 'never'}")
+    emit_bench("f2_communication_sweep",
+               {"points": points, "read_crossover": crossover})
 
 
 if __name__ == "__main__":

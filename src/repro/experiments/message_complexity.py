@@ -14,7 +14,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
-from repro.experiments.common import measure_isolated_costs, render_table
+from repro.experiments.common import (
+    emit_bench,
+    measure_isolated_costs,
+    render_table,
+)
 
 PROTOCOLS = ("atomic", "atomic_ns", "martin")
 
@@ -76,7 +80,9 @@ def coefficients(rows: List[MessageRow]) -> Dict[str, List[float]]:
 
 def main() -> None:
     """Run the experiment at default scale and print its table(s)."""
-    print(render(run()))
+    rows = run()
+    print(render(rows))
+    emit_bench("f3_message_complexity", {"rows": rows})
 
 
 if __name__ == "__main__":

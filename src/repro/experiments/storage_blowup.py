@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.experiments.common import (
+    emit_bench,
     measure_isolated_costs,
     render_table,
 )
@@ -78,11 +79,14 @@ def render(rows: List[BlowupRow], title: str = "F1: storage blow-up vs n "
 
 def main() -> None:
     """Run the experiment at default scale and print its table(s)."""
-    print(render(run()))
+    rows = run()
+    k_rows = run_k_sweep()
+    print(render(rows))
     print()
-    print(render(run_k_sweep(),
+    print(render(k_rows,
                  title="F1b: storage blow-up vs erasure threshold k "
                        "(n=10, t=3)"))
+    emit_bench("f1_storage_blowup", {"rows": rows, "k_sweep": k_rows})
 
 
 if __name__ == "__main__":

@@ -15,7 +15,9 @@ from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
 #: Protocol modules: the paper's actual storage/broadcast/agreement
-#: logic plus the simulator substrate it runs on.
+#: logic plus the simulator substrate it runs on.  The observability
+#: plane (``repro.obs``) is held to the same determinism bar — its only
+#: wall-clock reads live in ``repro.obs.clock`` behind explicit waivers.
 PROTOCOL_PREFIXES: Tuple[str, ...] = (
     "repro.core",
     "repro.avid",
@@ -24,6 +26,7 @@ PROTOCOL_PREFIXES: Tuple[str, ...] = (
     "repro.net",
     "repro.baselines",
     "repro.faults",
+    "repro.obs",
 )
 
 #: Default scope per rule pack.  An empty tuple means "every module".

@@ -36,6 +36,12 @@ class Inbox:
     def __len__(self) -> int:
         return self._count
 
+    def depth_by_key(self) -> Dict[Tuple[str, str], int]:
+        """Buffered message count per ``(tag, mtype)`` key, in insertion
+        order — the queue-depth breakdown the observability plane samples
+        (messages are buffered forever, so depths are cumulative)."""
+        return {key: len(found) for key, found in self._by_key.items()}
+
     def messages(self, tag: str, mtype: str,
                  where: Optional[Predicate] = None) -> List[Message]:
         """All received messages with this tag and type, oldest first."""

@@ -11,7 +11,7 @@ global event log (the paper's implicit global clock).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Tuple
+from typing import Any, Optional, Tuple
 
 from repro.common.ids import PartyId
 from repro.common.serialization import encoded_size
@@ -31,6 +31,13 @@ class Message:
     "network delay", the depth at which an operation completes is its
     latency in message rounds — the standard round-trip cost measure for
     asynchronous protocols.
+
+    ``cause_id`` is the ``msg_id`` of the delivery that activated the
+    sender when it sent this message (``None`` for spontaneous sends,
+    e.g. from a fresh client invocation).  The cause links form a
+    happens-before DAG over the whole run; :mod:`repro.obs` walks it
+    backward from an operation's completing event to extract the message
+    chain that determined the operation's latency.
     """
 
     tag: str
@@ -40,6 +47,7 @@ class Message:
     payload: Tuple[Any, ...]
     msg_id: int
     depth: int = 0
+    cause_id: Optional[int] = None
 
     def wire_size(self) -> int:
         """Bytes on the wire: canonical encoding of (tag, type, payload).
@@ -69,6 +77,12 @@ class LocalEvent:
     :data:`EVENT_DELIVER`.  Input/output events carry the paper's action
     type (``write``, ``read``, ``ack``, ``write-accepted``, ...) in
     ``action`` and the action parameters in ``payload``.
+
+    ``cause_id`` is the ``msg_id`` of the delivery being processed when
+    the party generated this event (``None`` for events outside any
+    activation, e.g. an operation invocation).  For an operation's
+    completing output action it anchors the happens-before walk of
+    :mod:`repro.obs.critical_path`.
     """
 
     time: int
@@ -77,3 +91,4 @@ class LocalEvent:
     tag: str
     action: str
     payload: Tuple[Any, ...]
+    cause_id: Optional[int] = None

@@ -17,9 +17,9 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
-from repro.common.ids import TAG_SEP
+from repro.common.ids import TAG_SEP, PartyId
 from repro.net.message import Message
 
 
@@ -38,13 +38,47 @@ class TrafficCounter:
         self.by_mtype[message.mtype] += 1
 
 
+class MetricsScope:
+    """Context manager isolating the traffic of one code region.
+
+    Entering snapshots the metrics; exiting stores the delta on the
+    scope itself, so callers read ``scope.messages`` /
+    ``scope.message_bytes`` after the ``with`` block::
+
+        with metrics.scoped() as scope:
+            cluster.write(1, "reg", "w", value)
+            cluster.run()
+        print(scope.messages, scope.message_bytes)
+
+    This replaces manual snapshot subtraction around single operations
+    (the paper's per-instance complexity measurements).
+    """
+
+    def __init__(self, metrics: "Metrics"):
+        self._metrics = metrics
+        self._before: Optional[Tuple[int, int]] = None
+        self.messages = 0
+        self.message_bytes = 0
+
+    def __enter__(self) -> "MetricsScope":
+        self._before = self._metrics.snapshot()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        after_messages, after_bytes = self._metrics.snapshot()
+        before_messages, before_bytes = self._before
+        self.messages = after_messages - before_messages
+        self.message_bytes = after_bytes - before_bytes
+        return None
+
+
 class Metrics:
     """Aggregated traffic counters for a simulation run."""
 
     def __init__(self) -> None:
         self._by_tag: Dict[str, TrafficCounter] = defaultdict(TrafficCounter)
-        self._sent_bytes: Dict[object, int] = defaultdict(int)
-        self._received_bytes: Dict[object, int] = defaultdict(int)
+        self._sent_bytes: Dict[PartyId, int] = defaultdict(int)
+        self._received_bytes: Dict[PartyId, int] = defaultdict(int)
         self.total_messages = 0
         self.total_bytes = 0
 
@@ -85,15 +119,20 @@ class Metrics:
         snapshots to isolate one operation's traffic."""
         return (self.total_messages, self.total_bytes)
 
-    def sent_bytes(self, party) -> int:
+    def scoped(self) -> MetricsScope:
+        """A :class:`MetricsScope` capturing the delta of a ``with``
+        block — the snapshot-subtraction idiom as a context manager."""
+        return MetricsScope(self)
+
+    def sent_bytes(self, party: PartyId) -> int:
         """Bytes sent by one party across the whole run."""
         return self._sent_bytes.get(party, 0)
 
-    def received_bytes(self, party) -> int:
+    def received_bytes(self, party: PartyId) -> int:
         """Bytes delivered to one party across the whole run."""
         return self._received_bytes.get(party, 0)
 
-    def load_imbalance(self, parties) -> float:
+    def load_imbalance(self, parties: Iterable[PartyId]) -> float:
         """Max/mean ratio of per-party received bytes (1.0 = perfectly
         balanced).  The register protocols are leaderless: server load is
         expected to be near-uniform."""

@@ -63,6 +63,10 @@ class Process:
         #: causal depth of the delivery currently being processed (0 when
         #: activated directly, e.g. by a client invocation).
         self.activation_depth = 0
+        #: ``msg_id`` of the delivery currently being processed (``None``
+        #: when activated directly); stamped onto outgoing messages and
+        #: output actions as their happens-before cause.
+        self.activation_msg_id: Optional[int] = None
 
     # -- simulator wiring -------------------------------------------------
 
@@ -132,6 +136,7 @@ class Process:
         """Deliver a message: buffer it, fire handlers, pump threads."""
         self.inbox.add(message)
         self.activation_depth = message.depth
+        self.activation_msg_id = message.msg_id
         try:
             for handler in self._handlers.get(message.mtype, []):
                 result = handler(message)
@@ -140,6 +145,7 @@ class Process:
             self._pump()
         finally:
             self.activation_depth = 0
+            self.activation_msg_id = None
 
     def _pump(self) -> None:
         """Resume parked threads until no condition is satisfied.
@@ -185,15 +191,39 @@ class Process:
                          where: Optional[Callable[[Message], bool]] = None
                          ) -> Condition:
         """Condition: ``count`` messages from distinct senders; returns the
-        earliest matching message of each sender."""
+        earliest matching message of each sender.
+
+        When a tracer is attached to the simulator (:mod:`repro.obs`),
+        the first satisfaction is reported as a quorum release carrying
+        the arrival that tipped the threshold — the ``(n - t)``-th
+        message the wait state was actually blocked on.
+        """
+        released = False
 
         def check():
+            nonlocal released
             matching = self.inbox.first_per_sender(tag, mtype, where)
             if len(matching) >= count:
+                if not released:
+                    released = True
+                    self._notify_quorum_release(tag, mtype, count, matching)
                 return matching
             return None
 
         return check
+
+    def _notify_quorum_release(self, tag: str, mtype: str, count: int,
+                               matching: List[Message]) -> None:
+        """Report a satisfied quorum condition to an attached tracer."""
+        simulator = self.simulator
+        observer = getattr(simulator, "obs", None)
+        if observer is None:
+            return
+        observer.on_quorum(
+            time=simulator.time, party=self.pid, tag=tag, mtype=mtype,
+            threshold=count,
+            quorum_msg_ids=tuple(m.msg_id for m in matching),
+            releasing_msg_id=self.activation_msg_id)
 
     def condition_message(self, tag: str, mtype: str,
                           where: Optional[Callable[[Message], bool]] = None

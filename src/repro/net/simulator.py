@@ -61,6 +61,21 @@ class Simulator:
         self._record_deliveries = record_deliveries
         self._output_observers: List[OutputObserver] = []
         self._invariants: List[Callable[["Simulator"], None]] = []
+        #: attached tracer (duck-typed; see
+        #: :class:`repro.obs.recorder.TraceRecorder`).  ``None`` keeps the
+        #: hot path free of tracing overhead.
+        self.obs = None
+
+    def attach_tracer(self, recorder) -> None:
+        """Attach a tracing recorder (one per run).
+
+        The recorder receives ``on_send`` / ``on_deliver`` /
+        ``on_input`` / ``on_output`` / ``on_quorum`` callbacks; see
+        :mod:`repro.obs.recorder` for the reference implementation.
+        """
+        if self.obs is not None:
+            raise SimulationError("a tracer is already attached")
+        self.obs = recorder
 
     # -- topology -----------------------------------------------------------
 
@@ -104,14 +119,21 @@ class Simulator:
         if recipient not in self._processes:
             raise SimulationError(f"message to unknown party {recipient}")
         sender_process = self._processes.get(sender)
-        depth = sender_process.activation_depth + 1 \
-            if sender_process is not None else 1
+        if sender_process is not None:
+            depth = sender_process.activation_depth + 1
+            cause_id = sender_process.activation_msg_id
+        else:
+            depth, cause_id = 1, None
         message = Message(tag=tag, mtype=mtype, sender=sender,
                           recipient=recipient, payload=payload,
-                          msg_id=self._next_msg_id, depth=depth)
+                          msg_id=self._next_msg_id, depth=depth,
+                          cause_id=cause_id)
         self._next_msg_id += 1
         self._pending.append(message)
         self.metrics.record(message)
+        if self.obs is not None:
+            self.obs.on_send(message, self.time,
+                             pending=len(self._pending))
 
     @property
     def pending_count(self) -> int:
@@ -123,20 +145,29 @@ class Simulator:
         self.time += 1
         return self.time
 
+    def _activation_cause(self, party: PartyId) -> Optional[int]:
+        """``msg_id`` of the delivery the party is currently processing."""
+        process = self._processes.get(party)
+        return process.activation_msg_id if process is not None else None
+
     def record_input(self, party: PartyId, tag: str, action: str,
                      payload: Tuple[Any, ...]) -> LocalEvent:
         """Log an input action ``(tag, in, action, ...)`` at a party."""
         event = LocalEvent(self._tick(), party, EVENT_INPUT, tag, action,
-                           payload)
+                           payload, cause_id=self._activation_cause(party))
         self.event_log.append(event)
+        if self.obs is not None:
+            self.obs.on_input(event)
         return event
 
     def record_output(self, party: PartyId, tag: str, action: str,
                       payload: Tuple[Any, ...]) -> LocalEvent:
         """Log an output action and notify output observers."""
         event = LocalEvent(self._tick(), party, EVENT_OUTPUT, tag, action,
-                           payload)
+                           payload, cause_id=self._activation_cause(party))
         self.event_log.append(event)
+        if self.obs is not None:
+            self.obs.on_output(event)
         for observer in self._output_observers:
             observer(event)
         return event
@@ -173,7 +204,13 @@ class Simulator:
         if self._record_deliveries:
             self.event_log.append(LocalEvent(
                 self.time, message.recipient, EVENT_DELIVER, message.tag,
-                message.mtype, message.payload))
+                message.mtype, message.payload,
+                cause_id=message.cause_id))
+        if self.obs is not None:
+            self.obs.on_deliver(
+                message, self.time,
+                inbox_depth=len(self._processes[message.recipient].inbox),
+                pending=len(self._pending))
         self._processes[message.recipient].receive(message)
         for check in self._invariants:
             check(self)

@@ -1,0 +1,92 @@
+"""Causal tracing and instrumentation plane.
+
+The simulator realizes the paper's logical global clock — every delivery
+is a point in time — and stamps every message with the delivery that
+caused it.  This package turns those raw facts into answers to *why*
+questions: why did this write take 9 rounds, which quorum wait dominated
+this read, which phase of Disperse is the bottleneck under a hostile
+scheduler.
+
+Typical use::
+
+    recorder = TraceRecorder().attach(cluster.simulator)
+    ...run a workload...
+    for span in build_spans(recorder):
+        path = critical_path(recorder, span)
+        print(span.name, path.attribution)
+
+Modules: :mod:`~repro.obs.recorder` (causal capture),
+:mod:`~repro.obs.spans` (operation/phase spans),
+:mod:`~repro.obs.critical_path` (happens-before latency attribution),
+:mod:`~repro.obs.instruments` (counters/gauges/histograms),
+:mod:`~repro.obs.export` (Perfetto / JSONL / text),
+:mod:`~repro.obs.bench` (``BENCH_*.json`` emission), and
+:mod:`~repro.obs.clock` (the only module allowed to read wall time).
+"""
+
+from repro.obs.bench import BENCH_ENV, bench_dir, emit_bench, to_jsonable
+from repro.obs.clock import WallTimer, wall_seconds
+from repro.obs.critical_path import (
+    CriticalPath,
+    PathHop,
+    attribution_summary,
+    critical_path,
+)
+from repro.obs.export import (
+    export_perfetto,
+    export_trace_jsonl,
+    operation_breakdown_lines,
+    text_report,
+)
+from repro.obs.instruments import Counter, Gauge, Histogram, Registry
+from repro.obs.recorder import MessageRecord, QuorumRelease, TraceRecorder
+from repro.obs.spans import (
+    KIND_OPERATION,
+    KIND_PHASE,
+    PHASE_DISPERSE,
+    PHASE_LOCAL,
+    PHASE_QUORUM_WAIT,
+    PHASE_RBC,
+    PHASE_RETRIEVE,
+    PHASE_SIG_ROUND,
+    PHASE_TS_QUERY,
+    Span,
+    build_spans,
+    classify_phase,
+)
+
+__all__ = [
+    "BENCH_ENV",
+    "bench_dir",
+    "emit_bench",
+    "to_jsonable",
+    "WallTimer",
+    "wall_seconds",
+    "CriticalPath",
+    "PathHop",
+    "attribution_summary",
+    "critical_path",
+    "export_perfetto",
+    "export_trace_jsonl",
+    "operation_breakdown_lines",
+    "text_report",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "MessageRecord",
+    "QuorumRelease",
+    "TraceRecorder",
+    "KIND_OPERATION",
+    "KIND_PHASE",
+    "PHASE_DISPERSE",
+    "PHASE_LOCAL",
+    "PHASE_QUORUM_WAIT",
+    "PHASE_RBC",
+    "PHASE_RETRIEVE",
+    "PHASE_SIG_ROUND",
+    "PHASE_TS_QUERY",
+    "Span",
+    "build_spans",
+    "classify_phase",
+]

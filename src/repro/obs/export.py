@@ -1,0 +1,236 @@
+"""Trace exporters: Chrome/Perfetto trace-event JSON, JSONL, and text.
+
+Three views of one recorded run:
+
+* :func:`export_perfetto` — the Chrome trace-event format
+  (``chrome://tracing`` / https://ui.perfetto.dev): one timeline row per
+  operation with nested phase slices, quorum releases as instant
+  events, and the critical-path attribution in each slice's ``args``.
+  Logical clock ticks are rendered as microseconds.
+* :func:`export_trace_jsonl` — the raw causal record (messages, local
+  events, quorum releases, instruments) as one JSON object per line,
+  for external analysis.
+* :func:`text_report` — a human-readable per-operation latency
+  breakdown plus the instrument summary, printed by ``repro trace
+  --format text`` and (condensed) by ``repro simulate``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, TextIO
+
+from repro.common.ids import PartyId
+from repro.obs.critical_path import attribution_summary, critical_path
+from repro.obs.recorder import TraceRecorder
+from repro.obs.spans import Span, build_spans
+
+#: perfetto requires numeric process ids; servers map to their index,
+#: clients to an offset range so both stay readable in the UI.
+_CLIENT_PID_OFFSET = 1000
+
+
+def _pid_of(party: PartyId) -> int:
+    return party.index if party.is_server \
+        else _CLIENT_PID_OFFSET + party.index
+
+
+def _span_args(span: Span) -> Dict[str, Any]:
+    args: Dict[str, Any] = {
+        "tag": span.tag,
+        "messages": span.messages,
+        "message_bytes": span.message_bytes,
+    }
+    for key, value in span.annotations.items():
+        args[key] = value
+    return args
+
+
+def export_perfetto(recorder: TraceRecorder, stream: TextIO) -> int:
+    """Write the run as Chrome trace-event JSON; returns the number of
+    trace events emitted.
+
+    Every completed operation gets its own thread row under its
+    client's process, phases nest inside the operation slice (clamped
+    to the operation interval; the true extent, including the
+    post-completion tail, stays in ``args``), and the operation's
+    ``args.critical_path`` carries the per-phase attribution whose
+    values sum to the slice duration.
+    """
+    events: List[Dict[str, Any]] = []
+    pids: Dict[int, str] = {}
+    for ordinal, span in enumerate(build_spans(recorder), start=1):
+        pid = _pid_of(span.party) if span.party is not None else 0
+        pids.setdefault(pid, str(span.party))
+        args = _span_args(span)
+        path = critical_path(recorder, span)
+        if path is not None:
+            args["critical_path"] = dict(sorted(
+                path.attribution.items()))
+            args["critical_path_rounds"] = path.rounds
+        events.append({
+            "name": span.name, "cat": span.kind, "ph": "X",
+            "pid": pid, "tid": ordinal,
+            "ts": span.open_time, "dur": span.duration,
+            "args": args,
+        })
+        for child in span.children:
+            open_time = max(child.open_time, span.open_time)
+            close_time = min(child.close_time, span.close_time)
+            if close_time < open_time:
+                continue  # pure tail traffic: outside the op slice
+            child_args = _span_args(child)
+            child_args["full_extent"] = [child.open_time,
+                                         child.close_time]
+            events.append({
+                "name": child.name, "cat": child.kind, "ph": "X",
+                "pid": pid, "tid": ordinal,
+                "ts": open_time, "dur": close_time - open_time,
+                "args": child_args,
+            })
+        for release in span.annotations.get("quorum_releases", ()):
+            events.append({
+                "name": f"quorum {release['mtype']}"
+                        f">={release['threshold']}",
+                "cat": "quorum", "ph": "i", "s": "t",
+                "pid": pid, "tid": ordinal,
+                "ts": release["time"],
+                "args": dict(release),
+            })
+    for pid, name in sorted(pids.items()):
+        events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": name},
+        })
+    json.dump({
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "clock": "logical (1 tick = 1 us)",
+            "generator": "repro.obs",
+        },
+    }, stream, ensure_ascii=False)
+    stream.write("\n")
+    return len(events)
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, bytes):
+        return {"bytes": len(value)}
+    if isinstance(value, PartyId):
+        return str(value)
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def export_trace_jsonl(recorder: TraceRecorder, stream: TextIO) -> int:
+    """Write the raw causal record as JSON lines; returns the line
+    count.  Record types: ``message``, ``event``, ``quorum``,
+    ``instrument``."""
+    count = 0
+
+    def emit(record: Dict[str, Any]) -> None:
+        nonlocal count
+        stream.write(json.dumps(record, ensure_ascii=False) + "\n")
+        count += 1
+
+    for record in recorder.messages.values():
+        emit({
+            "type": "message", "msg_id": record.msg_id,
+            "tag": record.tag, "mtype": record.mtype,
+            "sender": str(record.sender),
+            "recipient": str(record.recipient),
+            "send_time": record.send_time,
+            "deliver_time": record.deliver_time,
+            "wire_bytes": record.wire_bytes,
+            "depth": record.depth,
+            "cause_id": record.cause_id,
+            "oid": record.oid,
+        })
+    for event in recorder.events:
+        emit({
+            "type": "event", "time": event.time,
+            "party": str(event.party), "kind": event.kind,
+            "tag": event.tag, "action": event.action,
+            "payload": _jsonable(list(event.payload)),
+            "cause_id": event.cause_id,
+        })
+    for release in recorder.quorum_releases:
+        emit({
+            "type": "quorum", "time": release.time,
+            "party": str(release.party), "tag": release.tag,
+            "mtype": release.mtype, "threshold": release.threshold,
+            "quorum_msg_ids": list(release.quorum_msg_ids),
+            "releasing_msg_id": release.releasing_msg_id,
+        })
+    for name, summary in recorder.registry.snapshot().items():
+        emit({"type": "instrument", "name": name,
+              "kind": summary["type"],
+              **{key: value for key, value in summary.items()
+                 if key != "type"}})
+    return count
+
+
+def operation_breakdown_lines(recorder: TraceRecorder) -> List[str]:
+    """Per-operation latency attribution, one line per completed
+    operation — what ``repro simulate`` prints."""
+    lines = []
+    for span in build_spans(recorder):
+        path = critical_path(recorder, span)
+        if path is None:
+            continue
+        lines.append(
+            f"{path.op:<5} {path.oid:<8} {path.client:<4} "
+            f"t={path.invoke_time}->{path.complete_time} "
+            f"({path.duration:>4} ticks, {path.rounds} rounds): "
+            f"{attribution_summary(path)}")
+    return lines
+
+
+def text_report(recorder: TraceRecorder) -> str:
+    """The full human-readable report: operations with phase
+    breakdowns, quorum waits, tails, and the instrument summary."""
+    lines: List[str] = ["operations:"]
+    spans = build_spans(recorder)
+    if not spans:
+        lines.append("  (none completed)")
+    for span in spans:
+        path = critical_path(recorder, span)
+        lines.append(
+            f"  {span.name:<14} client={span.annotations['client']} "
+            f"t={span.open_time}->{span.close_time} "
+            f"({span.duration} ticks, {span.messages} msgs, "
+            f"{span.message_bytes} B)")
+        if path is not None:
+            lines.append(f"    critical path ({path.rounds} rounds): "
+                         f"{attribution_summary(path)}")
+        for child in span.children:
+            lines.append(
+                f"    {child.name:<12} t={child.open_time}->"
+                f"{child.close_time} {child.messages} msgs "
+                f"{child.message_bytes} B")
+        for release in span.annotations.get("quorum_releases", ()):
+            lines.append(
+                f"    quorum {release['mtype']}>={release['threshold']} "
+                f"at t={release['time']} "
+                f"(released by msg {release['released_by']})")
+        tail = span.annotations.get("tail_time", 0)
+        if tail:
+            lines.append(f"    tail: {tail} ticks of sub-protocol "
+                         f"traffic after completion")
+    lines.append("")
+    lines.append("instruments:")
+    snapshot = recorder.registry.snapshot()
+    if not snapshot:
+        lines.append("  (none)")
+    for name, summary in snapshot.items():
+        detail = ", ".join(f"{key}={value}"
+                           for key, value in summary.items()
+                           if key != "type")
+        lines.append(f"  {summary['type']:<9} {name:<28} {detail}")
+    return "\n".join(lines)

@@ -1,0 +1,199 @@
+"""Trace recorder: the causal record of one simulation run.
+
+A :class:`TraceRecorder` attaches to a
+:class:`~repro.net.simulator.Simulator` and captures, as the run
+executes:
+
+* a :class:`MessageRecord` per sent message — send/deliver logical
+  times, wire size, causal depth, and the ``cause_id`` happens-before
+  link to the delivery that activated the sender;
+* every input/output action (:class:`~repro.net.message.LocalEvent`);
+* every :class:`QuorumRelease` — the exact arrival that tipped a
+  ``condition_quorum`` wait state over its threshold;
+* built-in instruments (:mod:`repro.obs.instruments`): in-flight
+  message gauge, per-party inbox depth, per-message-type wire-size
+  histograms, rounds-per-quorum.
+
+The cause links form a DAG over the whole run (message → message that
+activated its sender); :mod:`repro.obs.critical_path` walks it backward
+from an operation's completing output action to explain the operation's
+latency, and :mod:`repro.obs.spans` folds the records into operation /
+sub-protocol spans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import SimulationError
+from repro.common.ids import PartyId
+from repro.net.message import LocalEvent, Message
+from repro.obs.instruments import Registry
+
+
+@dataclass
+class MessageRecord:
+    """The traced lifecycle of one message.
+
+    ``oid`` is the operation identifier carried as the first payload
+    element when it is a string (the register protocols' convention),
+    letting spans bind register-tag traffic to individual operations.
+    ``deliver_time`` stays ``None`` for messages still in flight at the
+    end of the run.
+    """
+
+    msg_id: int
+    tag: str
+    mtype: str
+    sender: PartyId
+    recipient: PartyId
+    send_time: int
+    wire_bytes: int
+    depth: int
+    cause_id: Optional[int]
+    oid: Optional[str]
+    deliver_time: Optional[int] = None
+
+    @property
+    def queue_wait(self) -> Optional[int]:
+        """Logical ticks between send and delivery (``None`` if the
+        message was never delivered)."""
+        if self.deliver_time is None:
+            return None
+        return self.deliver_time - self.send_time
+
+
+@dataclass(frozen=True)
+class QuorumRelease:
+    """A ``condition_quorum`` wait state crossing its threshold.
+
+    ``releasing_msg_id`` is the arrival being processed when the
+    condition first held — the ``(n - t)``-th message the wait was
+    blocked on (``None`` when the quorum was already satisfied at
+    registration, i.e. the thread never actually waited).
+    """
+
+    time: int
+    party: PartyId
+    tag: str
+    mtype: str
+    threshold: int
+    quorum_msg_ids: Tuple[int, ...]
+    releasing_msg_id: Optional[int]
+
+
+class TraceRecorder:
+    """Causal trace of one run; attach with :meth:`attach` before the
+    first delivery.
+
+    All captured state is public: ``messages`` (by ``msg_id``, in send
+    order), ``events``, ``quorum_releases``, and the instrument
+    ``registry``.
+    """
+
+    def __init__(self, registry: Optional[Registry] = None):
+        self.messages: Dict[int, MessageRecord] = {}
+        self.events: List[LocalEvent] = []
+        self.quorum_releases: List[QuorumRelease] = []
+        self.registry = registry or Registry()
+
+    def attach(self, simulator) -> "TraceRecorder":
+        """Attach to a simulator (see
+        :meth:`~repro.net.simulator.Simulator.attach_tracer`); returns
+        ``self`` for chaining."""
+        simulator.attach_tracer(self)
+        return self
+
+    # -- simulator callbacks ------------------------------------------------
+
+    def on_send(self, message: Message, time: int,
+                pending: int = 0) -> None:
+        """Record a message joining the in-flight bag."""
+        oid = message.payload[0] if (
+            message.payload and isinstance(message.payload[0], str)) \
+            else None
+        self.messages[message.msg_id] = MessageRecord(
+            msg_id=message.msg_id, tag=message.tag, mtype=message.mtype,
+            sender=message.sender, recipient=message.recipient,
+            send_time=time, wire_bytes=message.wire_size(),
+            depth=message.depth, cause_id=message.cause_id, oid=oid)
+        registry = self.registry
+        registry.counter("net.sent").inc()
+        registry.histogram(f"wire.bytes[{message.mtype}]").record(
+            self.messages[message.msg_id].wire_bytes)
+        registry.gauge("net.in_flight").set(pending)
+
+    def on_deliver(self, message: Message, time: int,
+                   inbox_depth: int = 0, pending: int = 0) -> None:
+        """Record a delivery (the logical-clock tick it occupies)."""
+        record = self.messages.get(message.msg_id)
+        if record is not None:
+            record.deliver_time = time
+        registry = self.registry
+        registry.counter("net.delivered").inc()
+        registry.gauge(f"inbox.depth[{message.recipient}]").set(
+            inbox_depth + 1)
+        registry.gauge("net.in_flight").set(pending)
+
+    def on_input(self, event: LocalEvent) -> None:
+        """Record an input action."""
+        self.events.append(event)
+        self.registry.counter("events.input").inc()
+
+    def on_output(self, event: LocalEvent) -> None:
+        """Record an output action."""
+        self.events.append(event)
+        self.registry.counter("events.output").inc()
+
+    def on_quorum(self, time: int, party: PartyId, tag: str, mtype: str,
+                  threshold: int, quorum_msg_ids: Tuple[int, ...],
+                  releasing_msg_id: Optional[int]) -> None:
+        """Record a quorum condition crossing its threshold."""
+        self.quorum_releases.append(QuorumRelease(
+            time=time, party=party, tag=tag, mtype=mtype,
+            threshold=threshold, quorum_msg_ids=quorum_msg_ids,
+            releasing_msg_id=releasing_msg_id))
+        self.registry.counter("quorum.released").inc()
+        if releasing_msg_id is not None:
+            record = self.messages.get(releasing_msg_id)
+            if record is not None:
+                self.registry.histogram(
+                    f"quorum.rounds[{mtype}]").record(record.depth)
+
+    # -- queries -------------------------------------------------------------
+
+    def record(self, msg_id: int) -> MessageRecord:
+        """The record of one message."""
+        try:
+            return self.messages[msg_id]
+        except KeyError:
+            raise SimulationError(
+                f"no trace record for message {msg_id}") from None
+
+    def causal_chain(self, msg_id: Optional[int]) -> List[MessageRecord]:
+        """The happens-before chain ending at ``msg_id``, root first.
+
+        Follows ``cause_id`` links backward to a spontaneous send (a
+        client invocation); the result is the message path that made the
+        final delivery happen.
+        """
+        chain: List[MessageRecord] = []
+        current = msg_id
+        while current is not None:
+            record = self.messages.get(current)
+            if record is None or len(chain) > len(self.messages):
+                break
+            chain.append(record)
+            current = record.cause_id
+        chain.reverse()
+        return chain
+
+    def records_under(self, tag_prefix: str) -> List[MessageRecord]:
+        """All records whose tag is ``tag_prefix`` or a sub-instance of
+        it, in send order."""
+        from repro.common.ids import TAG_SEP
+        prefix = tag_prefix + TAG_SEP
+        return [record for record in self.messages.values()
+                if record.tag == tag_prefix
+                or record.tag.startswith(prefix)]

@@ -1,0 +1,201 @@
+"""Trace exporters and the ``repro trace`` / ``repro simulate``
+observability surface."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.cluster import build_cluster
+from repro.config import SystemConfig
+from repro.net.schedulers import RandomScheduler
+from repro.obs import (
+    TraceRecorder,
+    export_perfetto,
+    export_trace_jsonl,
+    operation_breakdown_lines,
+    text_report,
+)
+
+
+@pytest.fixture
+def traced_run():
+    cluster = build_cluster(SystemConfig(n=4, t=1), protocol="atomic",
+                            num_clients=2,
+                            scheduler=RandomScheduler(0))
+    recorder = TraceRecorder().attach(cluster.simulator)
+    cluster.write(1, "reg", "w1", b"exported value")
+    cluster.run()
+    cluster.read(2, "reg", "r1")
+    cluster.run()
+    return recorder
+
+
+# -- perfetto ------------------------------------------------------------------
+
+def test_perfetto_is_valid_chrome_trace(traced_run):
+    stream = io.StringIO()
+    count = export_perfetto(traced_run, stream)
+    document = json.loads(stream.getvalue())
+    events = document["traceEvents"]
+    assert count == len(events) > 0
+    assert {event["ph"] for event in events} <= {"X", "i", "M"}
+    for event in events:
+        assert isinstance(event["pid"], int)
+        if event["ph"] == "X":
+            assert event["dur"] >= 0
+
+
+def test_perfetto_critical_path_sums_to_duration(traced_run):
+    stream = io.StringIO()
+    export_perfetto(traced_run, stream)
+    events = json.loads(stream.getvalue())["traceEvents"]
+    operations = [event for event in events
+                  if event.get("cat") == "operation"]
+    assert len(operations) == 2
+    for event in operations:
+        attribution = event["args"]["critical_path"]
+        assert sum(attribution.values()) == event["dur"]
+        assert event["args"]["critical_path_rounds"] >= 2
+
+
+def test_perfetto_phases_clamped_inside_operations(traced_run):
+    stream = io.StringIO()
+    export_perfetto(traced_run, stream)
+    events = json.loads(stream.getvalue())["traceEvents"]
+    operations = {event["tid"]: event for event in events
+                  if event.get("cat") == "operation"}
+    phases = [event for event in events if event.get("cat") == "phase"]
+    assert phases
+    for phase in phases:
+        parent = operations[phase["tid"]]
+        assert phase["ts"] >= parent["ts"]
+        assert phase["ts"] + phase["dur"] <= parent["ts"] + parent["dur"]
+        assert phase["args"]["full_extent"][1] >= phase["ts"] + \
+            phase["dur"]
+
+
+def test_perfetto_quorum_instants_and_metadata(traced_run):
+    stream = io.StringIO()
+    export_perfetto(traced_run, stream)
+    events = json.loads(stream.getvalue())["traceEvents"]
+    instants = [event for event in events if event["ph"] == "i"]
+    assert any(event["name"].startswith("quorum ack>=")
+               for event in instants)
+    names = {event["args"]["name"] for event in events
+             if event["ph"] == "M"}
+    assert "C1" in names
+
+
+def test_perfetto_empty_run():
+    stream = io.StringIO()
+    count = export_perfetto(TraceRecorder(), stream)
+    assert count == 0
+    assert json.loads(stream.getvalue())["traceEvents"] == []
+
+
+# -- jsonl ---------------------------------------------------------------------
+
+def test_trace_jsonl_record_types(traced_run):
+    stream = io.StringIO()
+    count = export_trace_jsonl(traced_run, stream)
+    lines = [json.loads(line)
+             for line in stream.getvalue().strip().splitlines()]
+    assert count == len(lines)
+    types = {line["type"] for line in lines}
+    assert types == {"message", "event", "quorum", "instrument"}
+    message = next(line for line in lines if line["type"] == "message")
+    assert {"msg_id", "tag", "mtype", "send_time", "deliver_time",
+            "depth", "cause_id", "wire_bytes"} <= set(message)
+    # byte payloads are summarized, never embedded raw: the read's
+    # completing output carries the 14-byte value as a placeholder
+    read_events = [line for line in lines if line["type"] == "event"
+                   and line["kind"] == "out"
+                   and line["action"] == "read"]
+    assert any({"bytes": 14} in event["payload"]
+               for event in read_events)
+
+
+def test_breakdown_lines_cover_all_operations(traced_run):
+    lines = operation_breakdown_lines(traced_run)
+    assert len(lines) == 2
+    assert any(line.startswith("write w1") for line in lines)
+    assert any(line.startswith("read  r1") for line in lines)
+    assert operation_breakdown_lines(TraceRecorder()) == []
+
+
+def test_text_report_sections(traced_run):
+    report = text_report(traced_run)
+    assert "operations:" in report and "instruments:" in report
+    assert "critical path" in report
+    assert "quorum ack>=3" in report
+    empty = text_report(TraceRecorder())
+    assert "(none completed)" in empty and "(none)" in empty
+
+
+# -- CLI -----------------------------------------------------------------------
+
+def test_cli_trace_parser_defaults():
+    parser = build_parser()
+    args = parser.parse_args(["trace"])
+    assert args.protocol == "atomic" and args.format == "perfetto"
+    args = parser.parse_args(["experiments", "--bench-dir", "out"])
+    assert args.bench_dir == "out"
+
+
+def test_cli_trace_perfetto_file(tmp_path):
+    out = tmp_path / "trace.json"
+    assert main(["trace", "--writes", "1", "--reads", "1",
+                 "--out", str(out)]) == 0
+    document = json.loads(out.read_text())
+    operations = [event for event in document["traceEvents"]
+                  if event.get("cat") == "operation"]
+    assert operations
+    for event in operations:
+        assert sum(event["args"]["critical_path"].values()) \
+            == event["dur"]
+
+
+def test_cli_trace_text_stdout(capsys):
+    assert main(["trace", "--format", "text", "--writes", "1",
+                 "--reads", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "critical path" in out and "instruments:" in out
+
+
+def test_cli_trace_jsonl(tmp_path):
+    out = tmp_path / "trace.jsonl"
+    assert main(["trace", "--format", "jsonl", "--writes", "1",
+                 "--reads", "1", "--out", str(out)]) == 0
+    lines = out.read_text().strip().splitlines()
+    assert all(json.loads(line)["type"] for line in lines)
+
+
+def test_cli_simulate_prints_attribution(capsys):
+    assert main(["simulate", "--protocol", "atomic", "--n", "4",
+                 "--t", "1", "--writes", "2", "--reads", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "latency attribution" in out
+    # every operation gets a per-phase breakdown line
+    assert out.count("rounds):") == 3
+    assert "disperse" in out or "rbc" in out
+    assert "quorum-wait" in out
+
+
+def test_cli_simulate_trace_out(tmp_path, capsys):
+    out = tmp_path / "events.jsonl"
+    assert main(["simulate", "--writes", "1", "--reads", "1",
+                 "--trace-out", str(out)]) == 0
+    assert "wrote" in capsys.readouterr().out
+    lines = out.read_text().strip().splitlines()
+    assert lines
+    record = json.loads(lines[0])
+    assert {"time", "party", "kind", "tag", "action"} <= set(record)
+
+
+def test_cli_trace_baseline_protocol(capsys):
+    # unknown message types fall back to their own names as phases
+    assert main(["trace", "--format", "text", "--protocol", "martin",
+                 "--writes", "1", "--reads", "1"]) == 0
+    assert "store" in capsys.readouterr().out

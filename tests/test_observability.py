@@ -1,0 +1,349 @@
+"""The causal tracing plane: recorder, spans, critical paths,
+instruments, and bench emission."""
+
+import json
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.common.errors import SimulationError
+from repro.config import SystemConfig
+from repro.net.schedulers import FifoScheduler, RandomScheduler
+from repro.obs import (
+    KIND_OPERATION,
+    KIND_PHASE,
+    PHASE_DISPERSE,
+    PHASE_LOCAL,
+    PHASE_QUORUM_WAIT,
+    PHASE_RBC,
+    PHASE_RETRIEVE,
+    PHASE_TS_QUERY,
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    TraceRecorder,
+    attribution_summary,
+    build_spans,
+    classify_phase,
+    critical_path,
+    emit_bench,
+    to_jsonable,
+    wall_seconds,
+)
+from repro.obs.clock import WallTimer
+
+
+@pytest.fixture
+def traced_cluster():
+    """A small Atomic run (n=4, t=1) with a tracer attached: one write
+    and one read from different clients."""
+    cluster = build_cluster(SystemConfig(n=4, t=1), protocol="atomic",
+                            num_clients=2,
+                            scheduler=RandomScheduler(0))
+    recorder = TraceRecorder().attach(cluster.simulator)
+    write = cluster.write(1, "reg", "w1", b"traced value")
+    cluster.run()
+    read = cluster.read(2, "reg", "r1")
+    cluster.run()
+    return cluster, recorder, write, read
+
+
+# -- causal stamping -----------------------------------------------------------
+
+def test_cause_links_point_to_earlier_deliveries(traced_cluster):
+    _, recorder, _, _ = traced_cluster
+    assert recorder.messages
+    for record in recorder.messages.values():
+        if record.cause_id is None:
+            continue
+        cause = recorder.record(record.cause_id)
+        assert cause.deliver_time is not None
+        assert cause.deliver_time <= record.send_time
+
+
+def test_causal_chain_roots_at_spontaneous_send(traced_cluster):
+    _, recorder, write, _ = traced_cluster
+    assert write.completion_cause is not None
+    chain = recorder.causal_chain(write.completion_cause)
+    assert len(chain) >= 2
+    assert chain[0].cause_id is None  # the client's own first send
+    for earlier, later in zip(chain, chain[1:]):
+        assert later.cause_id == earlier.msg_id
+    # depth counts the hops of the causal spine
+    assert chain[-1].depth == write.latency_rounds
+
+
+def test_causal_chain_handles_missing_and_none():
+    recorder = TraceRecorder()
+    assert recorder.causal_chain(None) == []
+    assert recorder.causal_chain(12345) == []
+    with pytest.raises(SimulationError):
+        recorder.record(12345)
+
+
+def test_attach_twice_rejected(traced_cluster):
+    cluster, _, _, _ = traced_cluster
+    with pytest.raises(SimulationError):
+        TraceRecorder().attach(cluster.simulator)
+
+
+def test_untraced_simulator_pays_nothing():
+    cluster = build_cluster(SystemConfig(n=4, t=1), protocol="atomic",
+                            num_clients=1, scheduler=FifoScheduler())
+    assert cluster.simulator.obs is None
+    cluster.write(1, "reg", "w1", b"value")
+    cluster.run()  # no tracer attached: nothing recorded, nothing broken
+
+
+# -- spans ---------------------------------------------------------------------
+
+def test_operation_spans_nest_phases(traced_cluster):
+    _, recorder, _, _ = traced_cluster
+    spans = build_spans(recorder)
+    assert [span.kind for span in spans] == [KIND_OPERATION] * 2
+    write_span = next(s for s in spans if s.annotations["op"] == "write")
+    read_span = next(s for s in spans if s.annotations["op"] == "read")
+
+    phases = {child.name for child in write_span.children}
+    assert {PHASE_TS_QUERY, PHASE_DISPERSE, PHASE_RBC,
+            PHASE_QUORUM_WAIT} <= phases
+    for child in write_span.children:
+        assert child.kind == KIND_PHASE
+        assert child.messages > 0
+        assert child.message_bytes > 0
+        assert child.open_time >= write_span.open_time
+        assert sum(child.annotations["mtypes"].values()) == child.messages
+
+    assert read_span.child(PHASE_RETRIEVE) is not None
+    assert read_span.child(PHASE_DISPERSE) is None
+    assert read_span.duration > 0
+
+
+def test_span_annotations(traced_cluster):
+    _, recorder, write, _ = traced_cluster
+    spans = build_spans(recorder)
+    write_span = next(s for s in spans if s.annotations["op"] == "write")
+    annotations = write_span.annotations
+    assert annotations["oid"] == "w1"
+    assert annotations["client"] == "C1"
+    assert annotations["completion_cause"] == write.completion_cause
+    assert annotations["latency_rounds"] == write.latency_rounds
+    assert annotations["tail_time"] >= 0
+    # all n - t = 3 honest acks arrive before completion in a clean run
+    assert len(annotations["accepted_by"]) >= 3
+
+
+def test_quorum_releases_bound_to_operations(traced_cluster):
+    _, recorder, _, _ = traced_cluster
+    assert recorder.quorum_releases
+    spans = build_spans(recorder)
+    write_span = next(s for s in spans if s.annotations["op"] == "write")
+    releases = write_span.annotations["quorum_releases"]
+    ack_releases = [r for r in releases if r["mtype"] == "ack"]
+    assert len(ack_releases) == 1
+    assert ack_releases[0]["threshold"] == 3  # n - t
+    released_by = ack_releases[0]["released_by"]
+    if released_by is not None:
+        assert recorder.record(released_by).mtype == "ack"
+
+
+def test_classify_phase_fallback():
+    assert classify_phase("reg", "avid-echo", "reg") == PHASE_DISPERSE
+    assert classify_phase("reg|rbc.w1", "rbc-ready", "reg") == PHASE_RBC
+    assert classify_phase("reg|disp.w1", "unknown-sub",
+                          "reg") == PHASE_DISPERSE
+    assert classify_phase("reg", "ack", "reg") == PHASE_QUORUM_WAIT
+    # unknown register-tag mtypes name their own phase (baselines)
+    assert classify_phase("reg", "store", "reg") == "store"
+    # traffic of an unrelated instance never inherits sub-tag phases
+    assert classify_phase("other|disp.w1", "unknown-sub", "reg") \
+        == "unknown-sub"
+
+
+def test_spans_on_overlapping_operations():
+    cluster = build_cluster(SystemConfig(n=4, t=1), protocol="atomic",
+                            num_clients=2,
+                            scheduler=RandomScheduler(7))
+    recorder = TraceRecorder().attach(cluster.simulator)
+    cluster.write(1, "reg", "w-a", b"a" * 64)  # concurrent writers
+    cluster.write(2, "reg", "w-b", b"b" * 64)
+    cluster.run()
+    spans = build_spans(recorder)
+    assert {span.annotations["oid"] for span in spans} == {"w-a", "w-b"}
+    # concurrent spans overlap in logical time yet keep their own traffic
+    for span in spans:
+        assert span.messages > 0
+        path = critical_path(recorder, span)
+        assert sum(path.attribution.values()) == span.duration
+
+
+def test_spans_empty_run():
+    recorder = TraceRecorder()
+    assert build_spans(recorder) == []
+
+
+# -- critical paths ------------------------------------------------------------
+
+def test_critical_path_sums_to_duration(traced_cluster):
+    _, recorder, _, _ = traced_cluster
+    for span in build_spans(recorder):
+        path = critical_path(recorder, span)
+        assert path is not None
+        assert sum(path.attribution.values()) == path.duration \
+            == span.duration
+        assert path.rounds == len(path.hops) > 0
+        assert path.rounds == span.annotations["latency_rounds"]
+        # the hop intervals telescope: queue waits + local gaps + the
+        # final completion step reconstruct the duration exactly
+        final_local = path.duration - sum(
+            h.local_gap + h.queue_wait for h in path.hops)
+        assert path.attribution.get(PHASE_LOCAL, 0) \
+            == sum(h.local_gap for h in path.hops) + final_local
+
+
+def test_write_path_crosses_disperse_and_quorum(traced_cluster):
+    _, recorder, _, _ = traced_cluster
+    spans = build_spans(recorder)
+    write_span = next(s for s in spans if s.annotations["op"] == "write")
+    path = critical_path(recorder, write_span)
+    phases = {hop.phase for hop in path.hops}
+    assert PHASE_QUORUM_WAIT in phases  # the final ack hop
+    assert phases & {PHASE_DISPERSE, PHASE_RBC}
+    assert path.dominant_phase() in path.attribution
+    summary = attribution_summary(path)
+    assert all(phase in summary for phase in path.attribution)
+
+
+def test_critical_path_rejects_non_operation_spans(traced_cluster):
+    _, recorder, _, _ = traced_cluster
+    span = build_spans(recorder)[0].children[0]  # a phase span
+    assert critical_path(recorder, span) is None
+
+
+# -- instruments ---------------------------------------------------------------
+
+def test_counter_monotonic():
+    counter = Counter("c")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    with pytest.raises(SimulationError):
+        counter.inc(-1)
+
+
+def test_gauge_extremes():
+    gauge = Gauge("g")
+    assert gauge.summary()["samples"] == 0
+    for value in (5, 2, 9):
+        gauge.set(value)
+    assert gauge.value == 9
+    assert gauge.min_value == 2 and gauge.max_value == 9
+    assert gauge.summary()["samples"] == 3
+
+
+def test_histogram_percentiles():
+    histogram = Histogram("h")
+    assert histogram.percentile(50) == 0.0
+    for value in range(1, 101):
+        histogram.record(value)
+    assert histogram.count == 100
+    assert histogram.mean == pytest.approx(50.5)
+    assert histogram.percentile(0) == 1
+    assert histogram.percentile(50) == 51  # nearest-rank on 0..99
+    assert histogram.percentile(100) == 100
+    with pytest.raises(SimulationError):
+        histogram.percentile(101)
+
+
+def test_registry_create_or_get_and_kind_conflict():
+    registry = Registry()
+    assert registry.counter("net.sent") is registry.counter("net.sent")
+    registry.gauge("depth")
+    with pytest.raises(SimulationError):
+        registry.counter("depth")
+    assert registry.names() == ["depth", "net.sent"]
+    snapshot = registry.snapshot()
+    assert snapshot["net.sent"] == {"type": "counter", "value": 0}
+
+
+def test_builtin_instruments_populated(traced_cluster):
+    _, recorder, _, _ = traced_cluster
+    registry = recorder.registry
+    sent = registry.counter("net.sent").value
+    delivered = registry.counter("net.delivered").value
+    assert sent == len(recorder.messages)
+    assert 0 < delivered <= sent
+    assert registry.histogram("wire.bytes[avid-echo]").count > 0
+    assert registry.gauge("inbox.depth[P1]").samples > 0
+    assert registry.counter("quorum.released").value \
+        == len(recorder.quorum_releases)
+    rounds = registry.histogram("quorum.rounds[ack]")
+    assert rounds.count >= 1
+
+
+# -- wall clock quarantine -----------------------------------------------------
+
+def test_wall_clock_measures_and_records():
+    start = wall_seconds()
+    assert wall_seconds() >= start
+    histogram = Histogram("wall")
+    with WallTimer(histogram) as timer:
+        pass
+    assert timer.elapsed >= 0.0
+    assert histogram.count == 1
+
+
+# -- metrics scoping -----------------------------------------------------------
+
+def test_metrics_scoped_isolates_one_operation():
+    cluster = build_cluster(SystemConfig(n=4, t=1), protocol="atomic",
+                            num_clients=1, scheduler=FifoScheduler())
+    cluster.write(1, "reg", "prime", b"prime")
+    cluster.run()
+    metrics = cluster.simulator.metrics
+    before = metrics.message_complexity("reg")
+    with metrics.scoped() as scope:
+        cluster.write(1, "reg", "w", b"scoped")
+        cluster.run()
+    assert scope.messages == metrics.message_complexity("reg") - before
+    assert scope.message_bytes > 0
+    with metrics.scoped() as idle:
+        pass
+    assert idle.messages == 0 and idle.message_bytes == 0
+
+
+# -- bench emission ------------------------------------------------------------
+
+def test_emit_bench_roundtrip(tmp_path):
+    path = emit_bench("unit", {"rows": [1, 2], "party": "ok"},
+                      directory=tmp_path)
+    assert path == tmp_path / "BENCH_unit.json"
+    document = json.loads(path.read_text())
+    assert document == {"bench": "unit",
+                        "data": {"rows": [1, 2], "party": "ok"}}
+
+
+def test_emit_bench_disabled_by_default(monkeypatch):
+    monkeypatch.delenv("REPRO_BENCH_DIR", raising=False)
+    assert emit_bench("unit", {"x": 1}) is None
+
+
+def test_emit_bench_env_configuration(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path / "sub"))
+    path = emit_bench("env", [to_jsonable(b"\x00\x01")])
+    assert path is not None and path.parent == tmp_path / "sub"
+    assert json.loads(path.read_text())["data"] == [{"bytes": 2}]
+
+
+def test_to_jsonable_shapes():
+    from dataclasses import dataclass
+
+    @dataclass
+    class Row:
+        n: int
+        blob: bytes
+
+    assert to_jsonable(Row(4, b"abc")) == {"n": 4, "blob": {"bytes": 3}}
+    assert to_jsonable((1, "x", None)) == [1, "x", None]
+    assert to_jsonable({2: 3.5}) == {"2": 3.5}
