@@ -125,6 +125,11 @@ class AvidServer:
         self._config = config
         self._complete = complete
         self._instances: Dict[str, _Instance] = {}
+        # Quorum thresholds are fixed for the lifetime of the run; caching
+        # them as plain ints keeps the per-delivery progress checks cheap.
+        self._quorum = config.quorum
+        self._ready_amplify = config.ready_amplify
+        self._deliver_quorum = config.deliver_quorum
         process.on(MSG_SEND, self._on_send)
         process.on(MSG_ECHO, self._on_echo)
         process.on(MSG_READY, self._on_ready)
@@ -217,20 +222,19 @@ class AvidServer:
 
     def _progress(self, tag: str, instance: _Instance,
                   state: _KeyState) -> None:
-        config = self._config
         origin = state.client
         if origin not in instance.ready_sent:
-            if (len(state.echo_blocks) >= config.quorum
+            if (len(state.echo_blocks) >= self._quorum
                     and self._check_consistency(state)):
                 self._send_ready(tag, instance, state)
-            elif len(state.ready_senders) >= config.ready_amplify:
+            elif len(state.ready_senders) >= self._ready_amplify:
                 # Amplification: at least one honest server has verified
                 # consistency; try to reconstruct so our ready can carry
                 # personalized blocks, but do not require it.
                 self._check_consistency(state)
                 self._send_ready(tag, instance, state)
         if (origin not in instance.completed
-                and len(state.ready_senders) >= config.deliver_quorum):
+                and len(state.ready_senders) >= self._deliver_quorum):
             if state.own_block is None:
                 self._check_consistency(state)
             if state.own_block is not None:

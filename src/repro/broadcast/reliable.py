@@ -89,6 +89,11 @@ class ReliableBroadcastServer:
         # server-originated sends are rejected by default; the atomic-
         # broadcast substrate (servers broadcasting proposals) opts in.
         self._allow_server_origins = allow_server_origins
+        # Quorum thresholds are fixed for the lifetime of the run; caching
+        # them as plain ints keeps the per-delivery progress checks cheap.
+        self._quorum = config.quorum
+        self._ready_amplify = config.ready_amplify
+        self._deliver_quorum = config.deliver_quorum
         self._instances: Dict[Tuple[str, PartyId], _Instance] = {}
         process.on(MSG_SEND, self._on_send)
         process.on(MSG_ECHO, self._on_echo)
@@ -152,15 +157,14 @@ class ReliableBroadcastServer:
 
     def _progress(self, tag: str, origin: PartyId, instance: _Instance,
                   key: bytes) -> None:
-        config = self._config
         echoes = len(instance.echo_senders.get(key, ()))
         readys = len(instance.ready_senders.get(key, ()))
         if not instance.ready_sent and (
-                echoes >= config.quorum or readys >= config.ready_amplify):
+                echoes >= self._quorum or readys >= self._ready_amplify):
             instance.ready_sent = True
             self._process.send_to_servers(tag, MSG_READY, origin,
                                           instance.values[key])
-        if not instance.delivered and readys >= config.deliver_quorum:
+        if not instance.delivered and readys >= self._deliver_quorum:
             instance.delivered = True
             value = instance.values[key]
             # Drop bookkeeping for completed instances; late messages for

@@ -10,6 +10,8 @@ Usage::
     python -m repro.cli experiments t1 f4 f6
     python -m repro.cli info --n 7 --t 2
     python -m repro.cli lint src/repro --format json
+    python -m repro.cli bench --label mine --out benchmarks \
+        --compare benchmarks/BENCH_baseline_perf.json
 """
 
 from __future__ import annotations
@@ -148,6 +150,58 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json
+
+    from repro.obs.bench import (
+        compare_rows,
+        emit_bench,
+        run_macro_benchmarks,
+        run_micro_benchmarks,
+    )
+
+    suites = []
+    if args.suite in ("micro", "all"):
+        suites.append(("micro", run_micro_benchmarks))
+    if args.suite in ("macro", "all"):
+        suites.append(("macro", run_macro_benchmarks))
+    rows = []
+    for _, runner in suites:
+        rows.extend(runner(quick=args.quick))
+    print(f"{'benchmark':<28} {'iters':>6} {'total s':>9} {'per-iter':>12}")
+    for row in rows:
+        print(f"{row.name:<28} {row.iterations:>6} {row.seconds:>9.4f} "
+              f"{row.per_iteration_us:>10.1f}us")
+    payload = {
+        "label": args.label,
+        "quick": bool(args.quick),
+        "rows": [dataclasses.asdict(row) for row in rows],
+    }
+    if args.compare:
+        with open(args.compare, encoding="utf-8") as stream:
+            baseline_doc = json.load(stream)
+        baseline_rows = baseline_doc["data"]["rows"]
+        comparisons = compare_rows(baseline_rows,
+                                   payload["rows"])
+        payload["baseline_label"] = baseline_doc["data"].get("label")
+        payload["speedups"] = comparisons
+        print(f"\n{'benchmark':<28} {'baseline':>12} {'after':>12} "
+              f"{'speedup':>8}")
+        for record in comparisons:
+            speedup = record["speedup"]
+            print(f"{record['name']:<28} "
+                  f"{record['baseline_us']:>10.1f}us "
+                  f"{record['after_us']:>10.1f}us "
+                  f"{speedup:>7.2f}x" if speedup else
+                  f"{record['name']:<28} (no after timing)")
+    if args.out:
+        from pathlib import Path
+        path = emit_bench(args.label, payload, directory=Path(args.out))
+        print(f"\nwrote {path}")
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     from repro.analysis.complexity import ComplexityModel
     model = ComplexityModel(n=args.n, t=args.t, k=args.k,
@@ -225,6 +279,27 @@ def build_parser() -> argparse.ArgumentParser:
                              help="emit machine-readable BENCH_*.json "
                                   "files into DIR")
     experiments.set_defaults(handler=_cmd_experiments)
+
+    bench = commands.add_parser(
+        "bench", help="run micro/macro performance benchmarks and emit "
+                      "machine-readable BENCH_*.json rows")
+    bench.add_argument("--suite", default="all",
+                       choices=["micro", "macro", "all"],
+                       help="micro: data-plane kernels; macro: "
+                            "end-to-end Atomic workloads")
+    bench.add_argument("--quick", action="store_true",
+                       help="smoke mode: few iterations, smallest "
+                            "cluster only")
+    bench.add_argument("--label", default="perf",
+                       help="bench name: output file is "
+                            "BENCH_<label>.json")
+    bench.add_argument("--out", metavar="DIR", default=None,
+                       help="directory for the BENCH_<label>.json file "
+                            "(default: print only)")
+    bench.add_argument("--compare", metavar="FILE", default=None,
+                       help="baseline BENCH_*.json to compute speedups "
+                            "against (embedded in the output)")
+    bench.set_defaults(handler=_cmd_bench)
 
     info = commands.add_parser(
         "info", help="print analytic predictions for a deployment")

@@ -38,14 +38,21 @@ class PartyId:
             raise ValueError(f"unknown party kind: {self.kind!r}")
         if self.index < 1:
             raise ValueError("party indices are 1-based")
+        # Derived values are precomputed eagerly: party ids key nearly
+        # every dict in the simulator (inboxes, metrics, quorum states)
+        # and handlers branch on ``is_server`` for every delivery, so
+        # these are among the hottest lookups in a run.  Safe because the
+        # instance is frozen; stored in ``__dict__`` so they stay
+        # invisible to dataclass equality/repr and the wire format.
+        # ``_hash`` equals the value the generated dataclass hash would
+        # produce.
+        memo = self.__dict__
+        memo["_hash"] = hash((self.kind, self.index))
+        memo["is_server"] = self.kind == SERVER
+        memo["is_client"] = self.kind == CLIENT
 
-    @property
-    def is_server(self) -> bool:
-        return self.kind == SERVER
-
-    @property
-    def is_client(self) -> bool:
-        return self.kind == CLIENT
+    def __hash__(self) -> int:
+        return self._hash
 
     def __str__(self) -> str:
         prefix = "P" if self.is_server else "C"

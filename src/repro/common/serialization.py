@@ -22,8 +22,75 @@ import struct
 from typing import Any, Callable
 
 from repro.common.errors import SerializationError
+from repro.common.lru import LruCache
 
 _U32 = struct.Struct(">I")
+
+#: Canonical encodings memoized by value.  Protocols re-encode the same
+#: grouping keys ``(commitment, client)`` / ``(value, timestamp)`` on
+#: every handler activation, and the metrics plane re-sizes equal
+#: payloads; encoding is a pure function of the value, so equal inputs
+#: may share the cached bytes.  See :func:`_cache_key` for why keys are
+#: not the values themselves.
+_ENCODE_CACHE = LruCache(capacity=1024)
+
+# Key sentinels: ``True == 1`` and ``False == 0`` in Python, but they
+# encode differently (``T``/``F`` vs ``i``), so bools must map to keys
+# that can never collide with ints.  The dataclass marker likewise keeps
+# expanded wire-type fields from colliding with look-alike raw tuples.
+_TRUE_KEY = object()
+_FALSE_KEY = object()
+_DATACLASS_KEY = object()
+
+
+def _cache_key(value: Any) -> Any:
+    """A hashable key that is equal only for identically-encoding values.
+
+    Bools become private sentinels; tuples recurse; registered wire
+    types expand to (marker, class, field keys).  Everything else is
+    keyed by the value itself — unhashable inputs (lists, dicts,
+    bytearrays) make the key unhashable too, which callers treat as
+    "do not cache".
+
+    Wire-type instances memoize their expanded key in their instance
+    dict: they are frozen (fields never change after construction) and
+    long-lived — party identities and timestamps recur in nearly every
+    payload — so the expansion runs once per object, not per encode.
+    """
+    kind = type(value)
+    if kind is bytes or kind is int or kind is str or value is None:
+        return value
+    if kind is bool:
+        return _TRUE_KEY if value else _FALSE_KEY
+    if kind is tuple:
+        for item in value:
+            item_kind = type(item)
+            if (item_kind is not bytes and item_kind is not int
+                    and item_kind is not str and item is not None):
+                return tuple([_cache_key(item) for item in value])
+        # A tuple of primitive leaves (no bools, no nested structure) is
+        # its own key — the common case for commitment digest vectors.
+        return value
+    name = _WIRE_NAMES_BY_TYPE.get(kind)
+    if name is not None:
+        try:
+            memo = value.__dict__
+            return memo["_encode_cache_key"]
+        except (AttributeError, KeyError):
+            pass
+        fields = _WIRE_TYPES_BY_NAME[name][1]
+        key = (_DATACLASS_KEY, kind,
+               tuple([_cache_key(getattr(value, field))
+                      for field in fields]))
+        try:
+            # Bypasses the frozen-dataclass __setattr__ guard; invisible
+            # to dataclasses.fields/eq/repr, so the wire format is
+            # untouched.  Slotted classes simply skip the memo.
+            memo["_encode_cache_key"] = key
+        except (NameError, TypeError):  # pragma: no cover
+            pass
+        return key
+    return value
 
 # Registered wire types: name -> (class, field names); class -> name.
 _WIRE_TYPES_BY_NAME: dict[str, tuple[type, tuple[str, ...]]] = {}
@@ -111,10 +178,25 @@ def _encode(value: Any, out: list[bytes]) -> None:
 
 
 def encode(value: Any) -> bytes:
-    """Return the canonical encoding of ``value``."""
+    """Return the canonical encoding of ``value``.
+
+    Successful encodings are memoized by value (equal values always
+    yield identical byte strings); unhashable or unserializable inputs
+    bypass the cache.
+    """
+    try:
+        key = _cache_key(value)
+        cached = _ENCODE_CACHE.get(key)
+    except TypeError:  # unhashable somewhere inside: encode directly
+        key = cached = None
+    if cached is not None:
+        return cached
     out: list[bytes] = []
     _encode(value, out)
-    return b"".join(out)
+    data = b"".join(out)
+    if key is not None:
+        _ENCODE_CACHE.put(key, data)
+    return data
 
 
 def encoded_size(value: Any) -> int:

@@ -23,11 +23,20 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.common.errors import ReproError
+from repro.common.lru import LruCache
 from repro.common.serialization import register_wire_type
 from repro.crypto.hashing import hash_bytes
 
 _LEAF_PREFIX = b"\x00"
 _NODE_PREFIX = b"\x01"
+
+#: Built tree levels memoized by leaf-tuple content: every server of a
+#: dispersal builds the tree over the same block vector, and each
+#: ``proof`` call in the seed rebuilt it from scratch.  Levels are
+#: immutable once built (the tree only reads them), so cached instances
+#: share them.  Deterministic insertion-ordered LRU; unhashable leaves
+#: (e.g. ``bytearray``) bypass the cache.
+_LEVELS_CACHE = LruCache(capacity=128)
 
 
 def _leaf_hash(data: bytes) -> bytes:
@@ -66,8 +75,16 @@ class MerkleTree:
         if not leaves:
             raise ReproError("Merkle tree requires at least one leaf")
         self._leaf_count = len(leaves)
+        key = tuple(leaves)
+        try:
+            cached = _LEVELS_CACHE.get(key)
+        except TypeError:  # unhashable leaves: build without caching
+            key, cached = None, None
+        if cached is not None:
+            self._levels: list[list[bytes]] = cached
+            return
         # _levels[0] is the leaf-hash level; _levels[-1] is [root].
-        self._levels: list[list[bytes]] = [[_leaf_hash(leaf) for leaf in leaves]]
+        self._levels = [[_leaf_hash(leaf) for leaf in leaves]]
         while len(self._levels[-1]) > 1:
             below = self._levels[-1]
             level = [
@@ -77,6 +94,8 @@ class MerkleTree:
             if len(below) % 2:
                 level.append(below[-1])
             self._levels.append(level)
+        if key is not None:
+            _LEVELS_CACHE.put(key, self._levels)
 
     @property
     def root(self) -> bytes:

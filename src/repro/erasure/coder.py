@@ -12,6 +12,13 @@ into the paper's value-level interface:
 Framing: the value is prefixed with its 8-byte big-endian length and
 zero-padded to a multiple of ``k``, so decoding is unambiguous for every
 value length including zero.
+
+Both directions carry a small value-keyed memo (deterministic
+insertion-ordered :class:`~repro.common.lru.LruCache`): protocols
+re-encode the same value at every server and re-decode the same block
+set at every reader quorum, so repeat calls with identical content are
+dictionary hits.  Only successful results are memoized — validation
+errors always re-raise.
 """
 
 from __future__ import annotations
@@ -19,10 +26,16 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Tuple
 
 from repro.common.errors import ConfigurationError, DecodingError
+from repro.common.lru import LruCache
 from repro.erasure.reed_solomon import ReedSolomonCode
 from repro.erasure.reed_solomon16 import ReedSolomonCode16
 
 _LENGTH_HEADER = 8
+
+#: Entries per coder for the value-level encode/decode memos.  Sized for
+#: the working set of a simulation run (distinct values in flight), not
+#: for bulk archival workloads.
+_MEMO_CAPACITY = 64
 
 
 class ErasureCoder:
@@ -49,6 +62,8 @@ class ErasureCoder:
         else:
             raise ConfigurationError(f"unknown erasure field {field!r}")
         self.field = field
+        self._encode_memo = LruCache(_MEMO_CAPACITY)
+        self._decode_memo = LruCache(_MEMO_CAPACITY)
 
     @property
     def n(self) -> int:
@@ -73,12 +88,19 @@ class ErasureCoder:
         if not isinstance(value, (bytes, bytearray, memoryview)):
             raise ConfigurationError("values must be byte strings")
         value = bytes(value)
+        cached = self._encode_memo.get(value)
+        if cached is not None:
+            return list(cached)
         framed = len(value).to_bytes(_LENGTH_HEADER, "big") + value
         block_length = self.block_length(len(value))
-        framed = framed.ljust(block_length * self.k, b"\x00")
+        total = block_length * self.k
+        if len(framed) < total:  # ljust always copies; pad only if needed
+            framed = framed.ljust(total, b"\x00")
         data_blocks = [framed[i * block_length:(i + 1) * block_length]
                        for i in range(self.k)]
-        return self._code.encode_blocks(data_blocks)
+        blocks = self._code.encode_blocks(data_blocks)
+        self._encode_memo.put(value, tuple(blocks))
+        return blocks
 
     def decode(self, blocks: Iterable[Tuple[int, bytes]]) -> bytes:
         """Reconstruct the value from ``(index, block)`` pairs (1-based
@@ -92,16 +114,24 @@ class ErasureCoder:
             if not 1 <= index <= self.n:
                 raise DecodingError(f"block index {index} out of range")
             zero_based = index - 1
-            if zero_based in by_index and by_index[zero_based] != block:
+            data = block if type(block) is bytes else bytes(block)
+            previous = by_index.get(zero_based)
+            if previous is not None and previous != data:
                 raise DecodingError(
                     f"conflicting blocks supplied for index {index}")
-            by_index[zero_based] = bytes(block)
+            by_index[zero_based] = data
+        key = tuple(sorted(by_index.items()))
+        cached = self._decode_memo.get(key)
+        if cached is not None:
+            return cached
         data_blocks = self._code.decode_blocks(by_index)
         framed = b"".join(data_blocks)
         length = int.from_bytes(framed[:_LENGTH_HEADER], "big")
         if length > len(framed) - _LENGTH_HEADER:
             raise DecodingError("corrupt framing: length exceeds payload")
-        return framed[_LENGTH_HEADER:_LENGTH_HEADER + length]
+        value = framed[_LENGTH_HEADER:_LENGTH_HEADER + length]
+        self._decode_memo.put(key, value)
+        return value
 
     def storage_blowup(self, value_length: int) -> float:
         """Measured storage blow-up ``n * |F_j| / |F|`` for this coder."""

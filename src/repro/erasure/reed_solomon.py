@@ -9,13 +9,34 @@ the inverse of its top ``k x k`` square, yielding a systematic generator
 matrix (identity on top) in which every ``k``-row subset is invertible.
 Bulk block arithmetic is vectorized with numpy lookup tables; a pure-Python
 path is kept for environments without numpy and as a cross-check in tests.
+
+Hot-path design (the decode kernel dominates the F1/F2/F3 sweeps):
+
+* **Decode plans.**  Decoding from a given index subset always performs
+  the same linear algebra, and sweeps decode from the *same* few subsets
+  thousands of times.  ``decode_blocks`` therefore compiles the chosen
+  index tuple into a :class:`_DecodePlan` — which data rows are present,
+  which are missing, and the solve matrix mapping the supplied blocks
+  directly to the missing rows — and memoizes it in a deterministic,
+  insertion-ordered :class:`~repro.common.lru.LruCache`.
+* **Partial-systematic solve.**  Present data rows are returned as-is;
+  only the ``m`` missing data rows are solved for, via an ``m x m``
+  inversion (not ``k x k``) composed with the parity coefficients into a
+  single ``m x k`` matrix, so the per-decode matvec work drops from
+  ``k^2`` to ``m * k`` coefficient-block products.
+* **Batched matvec.**  One call computes every output row: the blocks
+  are joined into a single ``(k, L)`` uint8 view and each coefficient
+  applies as one table gather (``np.take``), with 0/1 coefficients
+  short-circuited to skips/XORs.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+import heapq
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import ConfigurationError, DecodingError
+from repro.common.lru import LruCache
 from repro.erasure import gf256
 from repro.erasure.gf256 import (
     Matrix,
@@ -35,6 +56,37 @@ if _np is not None:
     for _a in range(256):
         for _b in range(256):
             _MUL_TABLE[_a, _b] = gf256.gf_mul(_a, _b)
+
+#: Decode plans cached per code instance: chosen k-subsets recur
+#: constantly across sweeps, and 128 distinct subsets comfortably covers
+#: every experiment in the repository.
+_PLAN_CACHE_CAPACITY = 128
+
+
+class _DecodePlan:
+    """Compiled decoder for one chosen index tuple.
+
+    ``known`` are the chosen systematic indices (data rows supplied
+    directly); ``missing`` are the data rows to solve for; ``matrix`` is
+    the composed ``m x k`` solve matrix applied to the supplied blocks
+    (ordered by ascending chosen index, i.e. known rows then parity
+    rows).  ``matrix`` is ``None`` for the all-systematic plan.
+    """
+
+    __slots__ = ("chosen", "known", "missing", "matrix", "matrix_np")
+
+    def __init__(self, chosen: Tuple[int, ...], known: Tuple[int, ...],
+                 missing: Tuple[int, ...], matrix: Optional[Matrix],
+                 matrix_np) -> None:
+        self.chosen = chosen
+        self.known = known
+        self.missing = missing
+        self.matrix = matrix
+        self.matrix_np = matrix_np
+
+
+def _as_bytes(block) -> bytes:
+    return block if type(block) is bytes else bytes(block)
 
 
 class ReedSolomonCode:
@@ -65,6 +117,10 @@ class ReedSolomonCode:
         vandermonde = vandermonde_matrix(n, k)
         top_inverse = matrix_invert([row[:] for row in vandermonde[:k]])
         self._generator: Matrix = matrix_multiply(vandermonde, top_inverse)
+        #: Parity rows only (rows ``k..n-1``): the systematic top rows
+        #: are the identity, so encoding never multiplies by them.
+        self._parity_rows: Matrix = [row[:] for row in self._generator[k:]]
+        self._plan_cache = LruCache(_PLAN_CACHE_CAPACITY)
 
     @property
     def generator_matrix(self) -> Matrix:
@@ -83,9 +139,69 @@ class ReedSolomonCode:
         lengths = {len(block) for block in data_blocks}
         if len(lengths) != 1:
             raise ConfigurationError("data blocks must have equal length")
-        return self._matvec(self._generator, data_blocks)
+        data = [_as_bytes(block) for block in data_blocks]
+        # Systematic fast path: the first k output blocks *are* the data;
+        # only the parity rows need arithmetic.
+        return data + self._matvec(self._parity_rows, data)
 
     # -- decoding ---------------------------------------------------------
+
+    def _choose_indices(self, blocks: Dict[int, bytes]) -> Tuple[int, ...]:
+        """Validate and pick the ``k`` decode indices (lowest valid win).
+
+        Extras beyond the chosen ``k`` are ignored without being sorted
+        or length-checked — only the blocks actually decoded are
+        validated.
+        """
+        valid = [index for index in blocks if 0 <= index < self.n]
+        if len(valid) < self.k:
+            raise DecodingError(
+                f"need {self.k} blocks to decode, got {len(valid)}")
+        if len(valid) == self.k:
+            chosen = sorted(valid)
+        else:
+            chosen = heapq.nsmallest(self.k, valid)
+        lengths = {len(blocks[index]) for index in chosen}
+        if len(lengths) != 1:
+            raise DecodingError("blocks must have equal length")
+        return tuple(chosen)
+
+    def _build_plan(self, chosen: Tuple[int, ...]) -> _DecodePlan:
+        """Compile the solve for one index subset (see class docstring)."""
+        k = self.k
+        known = tuple(index for index in chosen if index < k)
+        if len(known) == k:
+            return _DecodePlan(chosen, known, (), None, None)
+        parity = [index for index in chosen if index >= k]
+        present = set(known)
+        missing = tuple(j for j in range(k) if j not in present)
+        generator = self._generator
+        # Solve B x = rhs where B is the parity coefficients over the
+        # missing columns; every k-row subset of the generator is
+        # invertible, and with unit rows eliminated that reduces to B.
+        b_matrix = [[generator[p][j] for j in missing] for p in parity]
+        try:
+            b_inverse = matrix_invert(b_matrix)
+        except ValueError as exc:  # pragma: no cover - cannot happen for RS
+            raise DecodingError(str(exc)) from exc
+        # Compose into one m x k matrix over the supplied blocks
+        # [known..., parity...]: rhs_p = block_p + sum_j G[p][j] block_j,
+        # so missing = (Binv C) known + Binv parity.
+        m = len(missing)
+        matrix: Matrix = []
+        for r in range(m):
+            row = []
+            for j in known:
+                acc = 0
+                for x in range(m):
+                    acc ^= gf256.gf_mul(b_inverse[r][x],
+                                        generator[parity[x]][j])
+                row.append(acc)
+            row.extend(b_inverse[r])
+            matrix.append(row)
+        matrix_np = _np.array(matrix, dtype=_np.uint8) \
+            if self._use_numpy else None
+        return _DecodePlan(chosen, known, missing, matrix, matrix_np)
 
     def decode_blocks(self, blocks: Dict[int, bytes]) -> List[bytes]:
         """Recover the ``k`` data blocks from ``{index: block}`` pairs.
@@ -94,44 +210,49 @@ class ReedSolomonCode:
         indices in ``[0, n)``; extras are ignored deterministically
         (lowest indices win).  Raises :class:`DecodingError` otherwise.
         """
-        usable = sorted(index for index in blocks if 0 <= index < self.n)
-        if len(usable) < self.k:
-            raise DecodingError(
-                f"need {self.k} blocks to decode, got {len(usable)}")
-        chosen = usable[: self.k]
-        lengths = {len(blocks[index]) for index in chosen}
-        if len(lengths) != 1:
-            raise DecodingError("blocks must have equal length")
-        if all(index < self.k for index in chosen):
+        chosen = self._choose_indices(blocks)
+        plan = self._plan_cache.get_or_compute(
+            chosen, lambda: self._build_plan(chosen))
+        if not plan.missing:
             # All-systematic fast path: the data blocks are present.
-            return [bytes(blocks[index]) for index in chosen]
-        submatrix = [self._generator[index][:] for index in chosen]
-        try:
-            inverse = matrix_invert(submatrix)
-        except ValueError as exc:  # pragma: no cover - cannot happen for RS
-            raise DecodingError(str(exc)) from exc
-        return self._matvec(inverse, [blocks[index] for index in chosen])
+            return [_as_bytes(blocks[index]) for index in chosen]
+        supplied = [_as_bytes(blocks[index]) for index in chosen]
+        solved = self._matvec(plan.matrix, supplied,
+                              matrix_np=plan.matrix_np)
+        out: List[bytes] = [b""] * self.k
+        for position, index in enumerate(plan.known):
+            out[index] = supplied[position]
+        for position, index in enumerate(plan.missing):
+            out[index] = solved[position]
+        return out
 
     def reconstruct_all(self, blocks: Dict[int, bytes]) -> List[bytes]:
-        """Recover all ``n`` blocks (data + parity) from any ``k``."""
+        """Recover all ``n`` blocks (data + parity) from any ``k``.
+
+        When every one of the ``n`` blocks is supplied there is nothing
+        to reconstruct: the blocks are returned as given (protocols
+        validate block integrity against the cross-checksum before
+        reconstructing, so a full set is a consistent codeword).
+        """
+        if len(blocks) >= self.n and all(
+                index in blocks for index in range(self.n)):
+            return [_as_bytes(blocks[index]) for index in range(self.n)]
         return self.encode_blocks(self.decode_blocks(blocks))
 
     # -- block arithmetic ---------------------------------------------------
 
-    def _matvec(self, matrix: Matrix,
-                blocks: Sequence[bytes]) -> List[bytes]:
-        """Multiply ``matrix`` by the column vector of byte blocks."""
+    def _matvec(self, matrix: Matrix, blocks: Sequence[bytes],
+                matrix_np=None) -> List[bytes]:
+        """Multiply ``matrix`` by the column vector of byte blocks.
+
+        All output rows are produced in one call over a single ``(k, L)``
+        view of the blocks; each nonzero coefficient is one table gather
+        (0 skips, 1 XORs the block directly).
+        """
+        if not matrix:
+            return []
         if self._use_numpy:
-            data = _np.frombuffer(b"".join(blocks), dtype=_np.uint8)
-            data = data.reshape(len(blocks), -1)
-            out = []
-            for row in matrix:
-                accumulator = _np.zeros(data.shape[1], dtype=_np.uint8)
-                for coefficient, block_row in zip(row, data):
-                    if coefficient:
-                        accumulator ^= _MUL_TABLE[coefficient][block_row]
-                out.append(accumulator.tobytes())
-            return out
+            return self._matvec_numpy(matrix, blocks)
         length = len(blocks[0])
         out = []
         for row in matrix:
@@ -142,4 +263,29 @@ class ReedSolomonCode:
                 product = gf256.mul_row(coefficient, block)
                 accumulator = [a ^ p for a, p in zip(accumulator, product)]
             out.append(bytes(accumulator))
+        return out
+
+    def _matvec_numpy(self, matrix: Matrix,
+                      blocks: Sequence[bytes]) -> List[bytes]:
+        data = _np.frombuffer(b"".join(blocks), dtype=_np.uint8)
+        data = data.reshape(len(blocks), -1)
+        out = []
+        for row in matrix:
+            accumulator = None
+            for j, coefficient in enumerate(row):
+                if coefficient == 0:
+                    continue
+                if coefficient == 1:
+                    term = data[j]
+                else:
+                    term = _np.take(_MUL_TABLE[coefficient], data[j])
+                if accumulator is None:
+                    # First term: own a mutable buffer (a bare data[j]
+                    # view must not be XORed into).
+                    accumulator = term.copy() if coefficient == 1 else term
+                else:
+                    accumulator ^= term
+            if accumulator is None:
+                accumulator = _np.zeros(data.shape[1], dtype=_np.uint8)
+            out.append(accumulator.tobytes())
         return out

@@ -5,13 +5,20 @@ Same construction as :class:`repro.erasure.reed_solomon.ReedSolomonCode`
 reach 65535.  Blocks are byte strings of even length; bulk arithmetic is
 vectorized with numpy over ``uint16`` views when available (log/exp table
 lookups), with a pure-Python fallback.
+
+The hot-path structure mirrors the GF(2^8) class: decode subsets compile
+into cached plans (deterministic insertion-ordered LRU), present data
+rows pass through untouched, and only the missing rows are solved via an
+``m x m`` inversion composed into one ``m x k`` matrix.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+import heapq
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import ConfigurationError, DecodingError
+from repro.common.lru import LruCache
 from repro.erasure import gf65536
 from repro.erasure.gf65536 import (
     Matrix,
@@ -27,6 +34,8 @@ except ImportError:  # pragma: no cover - numpy is a declared dependency
 
 _NP_TABLES = None
 
+_PLAN_CACHE_CAPACITY = 128
+
 
 def _np_tables():
     """Numpy views of the exp/log tables (built on first bulk use)."""
@@ -36,6 +45,25 @@ def _np_tables():
         _NP_TABLES = (_np.array(exp, dtype=_np.uint32),
                       _np.array(log, dtype=_np.uint32))
     return _NP_TABLES
+
+
+class _DecodePlan16:
+    """Compiled decoder for one chosen index tuple (see the GF(2^8)
+    twin's :class:`~repro.erasure.reed_solomon._DecodePlan`)."""
+
+    __slots__ = ("chosen", "known", "missing", "matrix")
+
+    def __init__(self, chosen: Tuple[int, ...], known: Tuple[int, ...],
+                 missing: Tuple[int, ...],
+                 matrix: Optional[Matrix]) -> None:
+        self.chosen = chosen
+        self.known = known
+        self.missing = missing
+        self.matrix = matrix
+
+
+def _as_bytes(block) -> bytes:
+    return block if type(block) is bytes else bytes(block)
 
 
 class ReedSolomonCode16:
@@ -57,6 +85,8 @@ class ReedSolomonCode16:
         vandermonde = vandermonde_matrix(n, k)
         top_inverse = matrix_invert([row[:] for row in vandermonde[:k]])
         self._generator: Matrix = matrix_multiply(vandermonde, top_inverse)
+        self._parity_rows: Matrix = [row[:] for row in self._generator[k:]]
+        self._plan_cache = LruCache(_PLAN_CACHE_CAPACITY)
 
     @property
     def generator_matrix(self) -> Matrix:
@@ -75,30 +105,89 @@ class ReedSolomonCode16:
         if lengths.pop() % 2:
             raise ConfigurationError(
                 "GF(2^16) blocks must have even byte length")
-        return self._matvec(self._generator, data_blocks)
+        data = [_as_bytes(block) for block in data_blocks]
+        # Systematic fast path: only the parity rows need arithmetic.
+        return data + self._matvec(self._parity_rows, data)
 
-    def decode_blocks(self, blocks: Dict[int, bytes]) -> List[bytes]:
-        """Recover the ``k`` data blocks from any ``k`` indexed blocks."""
-        usable = sorted(index for index in blocks if 0 <= index < self.n)
-        if len(usable) < self.k:
+    def _choose_indices(self, blocks: Dict[int, bytes]) -> Tuple[int, ...]:
+        """Validate and pick the ``k`` decode indices (lowest valid win);
+        extras are discarded without sorting or length checks."""
+        valid = [index for index in blocks if 0 <= index < self.n]
+        if len(valid) < self.k:
             raise DecodingError(
-                f"need {self.k} blocks to decode, got {len(usable)}")
-        chosen = usable[: self.k]
+                f"need {self.k} blocks to decode, got {len(valid)}")
+        if len(valid) == self.k:
+            chosen = sorted(valid)
+        else:
+            chosen = heapq.nsmallest(self.k, valid)
         lengths = {len(blocks[index]) for index in chosen}
         if len(lengths) != 1:
             raise DecodingError("blocks must have equal length")
         if lengths.pop() % 2:
             raise DecodingError("GF(2^16) blocks must have even length")
-        if all(index < self.k for index in chosen):
-            return [bytes(blocks[index]) for index in chosen]
-        submatrix = [self._generator[index][:] for index in chosen]
-        inverse = matrix_invert(submatrix)
-        return self._matvec(inverse, [blocks[index] for index in chosen])
+        return tuple(chosen)
+
+    def _build_plan(self, chosen: Tuple[int, ...]) -> _DecodePlan16:
+        """Compile the partial-systematic solve for one index subset."""
+        k = self.k
+        known = tuple(index for index in chosen if index < k)
+        if len(known) == k:
+            return _DecodePlan16(chosen, known, (), None)
+        parity = [index for index in chosen if index >= k]
+        present = set(known)
+        missing = tuple(j for j in range(k) if j not in present)
+        generator = self._generator
+        b_matrix = [[generator[p][j] for j in missing] for p in parity]
+        try:
+            b_inverse = matrix_invert(b_matrix)
+        except ValueError as exc:  # pragma: no cover - cannot happen for RS
+            raise DecodingError(str(exc)) from exc
+        # Composed m x k matrix over [known..., parity...] supplied blocks
+        # (same algebra as the GF(2^8) twin).
+        m = len(missing)
+        matrix: Matrix = []
+        for r in range(m):
+            row = []
+            for j in known:
+                acc = 0
+                for x in range(m):
+                    acc ^= gf65536.gf_mul(b_inverse[r][x],
+                                          generator[parity[x]][j])
+                row.append(acc)
+            row.extend(b_inverse[r])
+            matrix.append(row)
+        return _DecodePlan16(chosen, known, missing, matrix)
+
+    def decode_blocks(self, blocks: Dict[int, bytes]) -> List[bytes]:
+        """Recover the ``k`` data blocks from any ``k`` indexed blocks."""
+        chosen = self._choose_indices(blocks)
+        plan = self._plan_cache.get_or_compute(
+            chosen, lambda: self._build_plan(chosen))
+        if not plan.missing:
+            return [_as_bytes(blocks[index]) for index in chosen]
+        supplied = [_as_bytes(blocks[index]) for index in chosen]
+        solved = self._matvec(plan.matrix, supplied)
+        out: List[bytes] = [b""] * self.k
+        for position, index in enumerate(plan.known):
+            out[index] = supplied[position]
+        for position, index in enumerate(plan.missing):
+            out[index] = solved[position]
+        return out
+
+    def reconstruct_all(self, blocks: Dict[int, bytes]) -> List[bytes]:
+        """Recover all ``n`` blocks from any ``k``; a complete set is
+        returned as supplied (nothing to reconstruct)."""
+        if len(blocks) >= self.n and all(
+                index in blocks for index in range(self.n)):
+            return [_as_bytes(blocks[index]) for index in range(self.n)]
+        return self.encode_blocks(self.decode_blocks(blocks))
 
     # -- symbol-level arithmetic ----------------------------------------------
 
     def _matvec(self, matrix: Matrix,
                 blocks: Sequence[bytes]) -> List[bytes]:
+        if not matrix:
+            return []
         if self._use_numpy:
             return self._matvec_numpy(matrix, blocks)
         return self._matvec_python(matrix, blocks)
@@ -113,14 +202,15 @@ class ReedSolomonCode16:
         out: List[bytes] = []
         for row in matrix:
             accumulator = _np.zeros(data.shape[1], dtype=_np.uint32)
-            for coefficient, block_log, block_nonzero in zip(
-                    row, log_data, nonzero):
+            for j, coefficient in enumerate(row):
                 if coefficient == 0:
                     continue
+                if coefficient == 1:
+                    accumulator ^= data[j]
+                    continue
                 log_c = int(log[coefficient])
-                product = _np.where(
-                    block_nonzero, exp[block_log + log_c], 0)
-                accumulator ^= product
+                accumulator ^= _np.where(
+                    nonzero[j], exp[log_data[j] + log_c], 0)
             out.append(accumulator.astype(">u2").tobytes())
         return out
 

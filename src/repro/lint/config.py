@@ -29,9 +29,21 @@ PROTOCOL_PREFIXES: Tuple[str, ...] = (
     "repro.obs",
 )
 
+#: Extra modules held to the determinism bar beyond the protocol core:
+#: the erasure/crypto kernels and the shared primitives they memoize
+#: through.  Their hot-path caches must stay deterministic (seeded runs
+#: replay identically), which is exactly what ``det-cache-order``
+#: checks — the sanctioned :mod:`repro.common.lru` cache is exempted
+#: inside the rule itself, not by scope carve-outs.
+DETERMINISM_EXTRA_PREFIXES: Tuple[str, ...] = (
+    "repro.erasure",
+    "repro.crypto",
+    "repro.common",
+)
+
 #: Default scope per rule pack.  An empty tuple means "every module".
 DEFAULT_SCOPES: Dict[str, Tuple[str, ...]] = {
-    "determinism": PROTOCOL_PREFIXES,
+    "determinism": PROTOCOL_PREFIXES + DETERMINISM_EXTRA_PREFIXES,
     "quorum": PROTOCOL_PREFIXES,
     "handlers": PROTOCOL_PREFIXES,
     "wire": (),

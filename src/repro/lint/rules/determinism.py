@@ -20,6 +20,14 @@ invalidates every scheduling experiment.  This pack flags:
 * ``det-id-order`` — ordering derived from interpreter identity:
   ``id(...)`` anywhere, or ``sorted``/``min``/``max`` keyed on
   ``id``/``hash``.
+* ``det-cache-order`` — memoization through ``functools.lru_cache`` /
+  ``functools.cache``: those hang hidden state off module-level
+  functions (so a "fresh" component silently reuses a previous run's
+  cache) and their eviction bookkeeping is not replayable state.  The
+  sanctioned alternative is :class:`repro.common.lru.LruCache` —
+  insertion-ordered by language guarantee, explicitly owned by the
+  component that uses it, and therefore deterministic; the rule
+  exempts ``repro.common.lru`` itself, where that cache lives.
 """
 
 from __future__ import annotations
@@ -36,6 +44,13 @@ RULE_ENTROPY = "det-entropy"
 RULE_WALLCLOCK = "det-wallclock"
 RULE_SET_ORDER = "det-set-order"
 RULE_ID_ORDER = "det-id-order"
+RULE_CACHE_ORDER = "det-cache-order"
+
+#: ``functools`` memoizers with hidden, non-replayable cache state.
+_FUNCTOOLS_CACHES = {"lru_cache", "cache"}
+#: Modules exempt from ``det-cache-order``: the sanctioned
+#: insertion-ordered cache implementation itself.
+_SANCTIONED_CACHE_MODULES = {"repro.common.lru"}
 
 _ENTROPY_MODULES = {"secrets", "uuid"}
 _WALLCLOCK_MODULES = {"time"}
@@ -118,7 +133,8 @@ class DeterminismRule:
 
     pack = "determinism"
     rule_ids: Tuple[str, ...] = (
-        RULE_ENTROPY, RULE_WALLCLOCK, RULE_SET_ORDER, RULE_ID_ORDER)
+        RULE_ENTROPY, RULE_WALLCLOCK, RULE_SET_ORDER, RULE_ID_ORDER,
+        RULE_CACHE_ORDER)
 
     def run(self, project: Project,
             config: LintConfig) -> Iterable[Finding]:
@@ -129,12 +145,21 @@ class DeterminismRule:
     def _check_module(self, module: ModuleInfo) -> Iterator[Finding]:
         tracker = _SetTracker(module.tree)
         tainted_names: Dict[str, str] = {}
+        check_caches = module.dotted not in _SANCTIONED_CACHE_MODULES
         for node in ast.walk(module.tree):
             if isinstance(node, ast.Import):
                 yield from self._check_import(module, node)
             elif isinstance(node, ast.ImportFrom):
                 yield from self._check_import_from(
-                    module, node, tainted_names)
+                    module, node, tainted_names, check_caches)
+            elif check_caches and isinstance(node, ast.Attribute):
+                if dotted_name(node) in ("functools.lru_cache",
+                                         "functools.cache"):
+                    yield self._finding(
+                        module, node, RULE_CACHE_ORDER,
+                        f"{dotted_name(node)} keeps hidden cache state "
+                        "with non-replayable eviction; use the "
+                        "insertion-ordered repro.common.lru.LruCache")
             elif isinstance(node, ast.Call):
                 yield from self._check_call(module, node, tainted_names)
             elif isinstance(node, (ast.For, ast.AsyncFor)):
@@ -167,11 +192,20 @@ class DeterminismRule:
                     "the simulator's logical clock")
 
     def _check_import_from(self, module: ModuleInfo, node: ast.ImportFrom,
-                           tainted: Dict[str, str]) -> Iterator[Finding]:
+                           tainted: Dict[str, str],
+                           check_caches: bool = True) -> Iterator[Finding]:
         source = (node.module or "").split(".")[0]
         for alias in node.names:
             local = alias.asname or alias.name
-            if source in _ENTROPY_MODULES:
+            if (check_caches and source == "functools"
+                    and alias.name in _FUNCTOOLS_CACHES):
+                tainted[local] = RULE_CACHE_ORDER
+                yield self._finding(
+                    module, node, RULE_CACHE_ORDER,
+                    f"import of functools.{alias.name}: hidden cache "
+                    "state with non-replayable eviction; use the "
+                    "insertion-ordered repro.common.lru.LruCache")
+            elif source in _ENTROPY_MODULES:
                 tainted[local] = RULE_ENTROPY
                 yield self._finding(
                     module, node, RULE_ENTROPY,

@@ -14,10 +14,32 @@ from dataclasses import dataclass
 from typing import Any, Optional, Tuple
 
 from repro.common.ids import PartyId
+from repro.common.lru import LruCache
 from repro.common.serialization import encoded_size
 
+#: Wire sizes memoized by message *content* ``(tag, mtype, payload)``.
+#: Broadcast-style protocols send the same payload to all ``n`` servers,
+#: so of the ``n`` messages of a round only the first pays the canonical
+#: encoding; the rest hit this cache.  Keys are compared by value (never
+#: by ``id``), so the cache is deterministic; unhashable payloads (e.g.
+#: containing lists) simply bypass it.
+_WIRE_SIZE_CACHE = LruCache(capacity=512)
 
-@dataclass(frozen=True)
+
+def content_wire_size(tag: str, mtype: str, payload: Tuple[Any, ...]) -> int:
+    """Wire size of the canonical encoding of ``(tag, mtype, payload)``.
+
+    Shared by :meth:`Message.wire_size` and by broadcast senders, which
+    compute the size once and stamp it onto all ``n`` copies.
+    """
+    content = (tag, mtype, payload)
+    try:
+        return _WIRE_SIZE_CACHE.get_or_compute(
+            content, lambda: encoded_size(content))
+    except TypeError:  # unhashable payload: encode directly
+        return encoded_size(content)
+
+
 class Message:
     """A protocol message ``(ID, type, ...)`` in flight or delivered.
 
@@ -38,16 +60,53 @@ class Message:
     happens-before DAG over the whole run; :mod:`repro.obs` walks it
     backward from an operation's completing event to extract the message
     chain that determined the operation's latency.
+
+    Implementation note: this is a hand-written slotted class rather than
+    a frozen dataclass because message construction is the single most
+    frequent allocation in a run (one per send) and the frozen-dataclass
+    ``__init__`` pays an ``object.__setattr__`` call per field.  Treat
+    instances as immutable all the same — equality, hashing, and the
+    cached wire size all assume fields never change after construction.
     """
 
-    tag: str
-    mtype: str
-    sender: PartyId
-    recipient: PartyId
-    payload: Tuple[Any, ...]
-    msg_id: int
-    depth: int = 0
-    cause_id: Optional[int] = None
+    __slots__ = ("tag", "mtype", "sender", "recipient", "payload",
+                 "msg_id", "depth", "cause_id", "_wire_size")
+
+    def __init__(self, tag: str, mtype: str, sender: PartyId,
+                 recipient: PartyId, payload: Tuple[Any, ...],
+                 msg_id: int, depth: int = 0,
+                 cause_id: Optional[int] = None) -> None:
+        self.tag = tag
+        self.mtype = mtype
+        self.sender = sender
+        self.recipient = recipient
+        self.payload = payload
+        self.msg_id = msg_id
+        self.depth = depth
+        self.cause_id = cause_id
+        self._wire_size: Optional[int] = None
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not Message:
+            return NotImplemented
+        return (self.msg_id == other.msg_id and self.tag == other.tag
+                and self.mtype == other.mtype
+                and self.sender == other.sender
+                and self.recipient == other.recipient
+                and self.payload == other.payload
+                and self.depth == other.depth
+                and self.cause_id == other.cause_id)
+
+    def __hash__(self) -> int:
+        # msg_ids are unique per simulator, so they are a sound (and
+        # cheap) hash; equal messages always share one.
+        return hash(self.msg_id)
+
+    def __repr__(self) -> str:
+        return (f"Message(tag={self.tag!r}, mtype={self.mtype!r}, "
+                f"sender={self.sender!r}, recipient={self.recipient!r}, "
+                f"payload={self.payload!r}, msg_id={self.msg_id!r}, "
+                f"depth={self.depth!r}, cause_id={self.cause_id!r})")
 
     def wire_size(self) -> int:
         """Bytes on the wire: canonical encoding of (tag, type, payload).
@@ -55,8 +114,16 @@ class Message:
         Sender and recipient are channel addressing, not payload, so they
         are excluded — matching how the paper counts communication
         complexity (bit length of messages associated to an instance).
+
+        The size is computed once per message (the metrics and tracing
+        planes both ask for it) and shared across messages with equal
+        content via a value-keyed cache.
         """
-        return encoded_size((self.tag, self.mtype, self.payload))
+        size = self._wire_size
+        if size is None:
+            size = content_wire_size(self.tag, self.mtype, self.payload)
+            self._wire_size = size
+        return size
 
     def __str__(self) -> str:  # compact form for traces
         return (f"{self.sender}->{self.recipient} "
@@ -69,7 +136,7 @@ EVENT_OUTPUT = "out"
 EVENT_DELIVER = "deliver"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LocalEvent:
     """An entry of the global event log, stamped with the logical time.
 

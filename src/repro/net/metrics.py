@@ -33,8 +33,12 @@ class TrafficCounter:
 
     def record(self, message: Message) -> None:
         """Count one message against this tag."""
+        self.record_sized(message, message.wire_size())
+
+    def record_sized(self, message: Message, size: int) -> None:
+        """Count one message whose wire size the caller already knows."""
         self.messages += 1
-        self.message_bytes += message.wire_size()
+        self.message_bytes += size
         self.by_mtype[message.mtype] += 1
 
 
@@ -84,8 +88,8 @@ class Metrics:
 
     def record(self, message: Message) -> None:
         """Account one sent message (called by the simulator)."""
-        self._by_tag[message.tag].record(message)
         size = message.wire_size()
+        self._by_tag[message.tag].record_sized(message, size)
         self._sent_bytes[message.sender] += size
         self._received_bytes[message.recipient] += size
         self.total_messages += 1

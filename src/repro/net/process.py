@@ -23,13 +23,13 @@ the paper's per-instance global variables.
 
 from __future__ import annotations
 
-import inspect
+from types import GeneratorType
 from typing import Any, Callable, Dict, Generator, List, Optional
 
 from repro.common.errors import SimulationError
 from repro.common.ids import PartyId
 from repro.net.inbox import Inbox
-from repro.net.message import Message
+from repro.net.message import Message, content_wire_size
 
 Condition = Callable[[], Any]
 Handler = Callable[[Message], Any]
@@ -88,12 +88,22 @@ class Process:
         channel (sender identity is bound by the channel)."""
         self._require_simulator().enqueue(
             sender=self.pid, recipient=recipient, tag=tag, mtype=mtype,
-            payload=tuple(payload))
+            payload=payload)
 
     def send_to_servers(self, tag: str, mtype: str, *payload: Any) -> None:
-        """Send the same message to every server ``P_1 .. P_n``."""
-        for server in self._require_simulator().server_pids:
-            self.send(server, tag, mtype, *payload)
+        """Send the same message to every server ``P_1 .. P_n``.
+
+        All ``n`` messages share one payload tuple and a wire size
+        computed once, so the per-message cost is one enqueue;
+        content-keyed caches (canonical encoding) then make the copies
+        nearly free downstream.
+        """
+        simulator = self._require_simulator()
+        pid = self.pid
+        size = content_wire_size(tag, mtype, payload)
+        for server in simulator.server_pids:
+            simulator.enqueue(sender=pid, recipient=server, tag=tag,
+                              mtype=mtype, payload=payload, wire_size=size)
 
     # -- handlers and threads ----------------------------------------------
 
@@ -138,10 +148,12 @@ class Process:
         self.activation_depth = message.depth
         self.activation_msg_id = message.msg_id
         try:
-            for handler in self._handlers.get(message.mtype, []):
-                result = handler(message)
-                if inspect.isgenerator(result):
-                    self._advance(result, None)
+            handlers = self._handlers.get(message.mtype)
+            if handlers is not None:
+                for handler in handlers:
+                    result = handler(message)
+                    if type(result) is GeneratorType:
+                        self._advance(result, None)
             self._pump()
         finally:
             self.activation_depth = 0
@@ -155,7 +167,7 @@ class Process:
         pump keeps looping until quiescence, so nothing is missed and the
         parked-thread list is never mutated under a stale snapshot.
         """
-        if self._pumping:
+        if self._pumping or not self._threads:
             return
         self._pumping = True
         try:

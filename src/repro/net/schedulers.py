@@ -27,6 +27,18 @@ class Scheduler:
         next; the simulator pops and delivers it."""
         raise NotImplementedError
 
+    def note_enqueue(self, message: Message) -> None:
+        """Hook: the simulator enqueued ``message`` into the pending bag.
+
+        Stateful schedulers override this (with :meth:`note_pop`) to
+        maintain their view of the pending set incrementally instead of
+        rescanning it on every :meth:`choose`.  The default is a no-op,
+        so schedulers remain usable standalone against plain lists.
+        """
+
+    def note_pop(self, message: Message) -> None:
+        """Hook: the simulator removed ``message`` from the pending bag."""
+
 
 class FifoScheduler(Scheduler):
     """Deliver messages in global send order (the 'synchronous-looking'
@@ -53,19 +65,72 @@ class PriorityScheduler(Scheduler):
     Matching messages are delivered only when nothing else is pending, which
     models an adversary that delays a victim's traffic as long as the
     network allows while still satisfying eventual delivery.
+
+    The preferred/deprioritized partition is maintained *incrementally*:
+    each message is classified once, when the simulator enqueues it, and
+    counters track how many of each class are pending.  ``choose`` then
+    draws the same random rank the full-rescan implementation would and
+    only walks the bag far enough to locate that rank — with cached
+    per-message classifications instead of fresh predicate calls.  The
+    RNG consumption and the chosen indices are identical to the original
+    rescanning implementation for every seed.
     """
 
     def __init__(self, deprioritize: Callable[[Message], bool],
                  seed: int = 0):
         self._deprioritize = deprioritize
         self._rng = random.Random(seed)
+        #: msg_id -> classification (True = deprioritized), filled on
+        #: enqueue and dropped on pop, so it tracks exactly the pending
+        #: set when driven by a simulator.
+        self._classes: dict = {}
+        self._pending_total = 0
+        self._pending_preferred = 0
+        self._tracking = False
+
+    def _classify(self, message: Message) -> bool:
+        flag = self._classes.get(message.msg_id)
+        if flag is None:
+            flag = bool(self._deprioritize(message))
+            self._classes[message.msg_id] = flag
+        return flag
+
+    def note_enqueue(self, message: Message) -> None:
+        self._tracking = True
+        if not self._classify(message):
+            self._pending_preferred += 1
+        self._pending_total += 1
+
+    def note_pop(self, message: Message) -> None:
+        flag = self._classes.pop(message.msg_id, None)
+        if flag is False:
+            self._pending_preferred -= 1
+        self._pending_total -= 1
 
     def choose(self, pending: Sequence[Message]) -> int:
-        preferred = [index for index, message in enumerate(pending)
-                     if not self._deprioritize(message)]
-        if preferred:
-            return preferred[self._rng.randrange(len(preferred))]
-        return self._rng.randrange(len(pending))
+        total = len(pending)
+        if self._tracking and self._pending_total == total:
+            preferred = self._pending_preferred
+            if preferred == 0 or preferred == total:
+                # Nothing to starve (or everything starved): uniform
+                # draw over the whole bag, exactly as the rescan did.
+                return self._rng.randrange(total)
+            rank = self._rng.randrange(preferred)
+            for index, message in enumerate(pending):
+                if not self._classes[message.msg_id]:
+                    if rank == 0:
+                        return index
+                    rank -= 1
+            raise RuntimeError(
+                "pending partition counters out of sync")  # pragma: no cover
+        # Standalone use (no simulator feeding note_enqueue): fall back
+        # to the full scan, still memoizing classifications.
+        preferred_indices = [index for index, message in enumerate(pending)
+                             if not self._classify(message)]
+        if preferred_indices:
+            return preferred_indices[
+                self._rng.randrange(len(preferred_indices))]
+        return self._rng.randrange(total)
 
 
 class SlowPartiesScheduler(PriorityScheduler):

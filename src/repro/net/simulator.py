@@ -16,7 +16,8 @@ experiments cap explicitly).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from itertools import islice
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.common.errors import SimulationError
 from repro.common.ids import PartyId
@@ -32,6 +33,80 @@ from repro.net.process import Process
 from repro.net.schedulers import FifoScheduler, Scheduler
 
 OutputObserver = Callable[[LocalEvent], None]
+
+
+class PendingBag:
+    """Order-preserving indexed bag of in-flight messages.
+
+    Semantically identical to a plain ``list`` under ``append`` /
+    ``pop(index)`` — logical index ``i`` is always the ``i``-th oldest
+    surviving message — but implemented as a ring buffer with a head
+    offset, so the FIFO pattern ``pop(0)`` is O(1) amortized instead of
+    shifting every element.  Popped head slots are reclaimed by periodic
+    compaction once they outnumber the live elements (amortized O(1) per
+    operation).  Arbitrary-index pops fall back to an in-place delete,
+    matching ``list.pop(i)`` exactly, so adversarial schedulers keep
+    their index semantics and seeded schedules are byte-identical to the
+    previous list-backed implementation.
+    """
+
+    __slots__ = ("_items", "_head")
+
+    #: Compact only beyond this many dead head slots (avoids thrashing
+    #: on small bags, where the O(n) slice is still trivially cheap).
+    _COMPACT_THRESHOLD = 512
+
+    def __init__(self) -> None:
+        self._items: List[Message] = []
+        self._head = 0
+
+    def __len__(self) -> int:
+        return len(self._items) - self._head
+
+    def __bool__(self) -> bool:
+        return len(self._items) > self._head
+
+    def __iter__(self) -> Iterator[Message]:
+        """Iterate oldest-to-newest (logical order)."""
+        return islice(iter(self._items), self._head, None)
+
+    def __getitem__(self, index: int) -> Message:
+        """Logical indexing; supports the negative indices ``list`` does."""
+        length = len(self._items) - self._head
+        if index < 0:
+            index += length
+        if not 0 <= index < length:
+            raise IndexError("pending index out of range")
+        return self._items[self._head + index]
+
+    def append(self, message: Message) -> None:
+        """Add ``message`` at the back (newest position)."""
+        self._items.append(message)
+
+    def pop(self, index: int = 0) -> Message:
+        """Remove and return the message at logical ``index``.
+
+        ``pop(0)`` (the FIFO case) advances the head offset in O(1);
+        other indices delete in place like ``list.pop``.
+        """
+        length = len(self._items) - self._head
+        if index < 0:
+            index += length
+        if not 0 <= index < length:
+            raise IndexError("pop index out of range")
+        if index == 0:
+            message = self._items[self._head]
+            # Release the reference so compaction latency never keeps
+            # delivered payloads alive.
+            self._items[self._head] = None  # type: ignore[call-overload]
+            self._head += 1
+            head = self._head
+            if (head >= self._COMPACT_THRESHOLD
+                    and head * 2 >= len(self._items)):
+                del self._items[:head]
+                self._head = 0
+            return message
+        return self._items.pop(self._head + index)
 
 
 class Simulator:
@@ -56,7 +131,7 @@ class Simulator:
         self.time = 0
         self._processes: Dict[PartyId, Process] = {}
         self._server_pids: List[PartyId] = []
-        self._pending: List[Message] = []
+        self._pending = PendingBag()
         self._next_msg_id = 0
         self._record_deliveries = record_deliveries
         self._output_observers: List[OutputObserver] = []
@@ -109,12 +184,17 @@ class Simulator:
     # -- messaging ------------------------------------------------------------
 
     def enqueue(self, sender: PartyId, recipient: PartyId, tag: str,
-                mtype: str, payload: Tuple[Any, ...]) -> None:
+                mtype: str, payload: Tuple[Any, ...],
+                wire_size: Optional[int] = None) -> None:
         """Called by processes to send; the message joins the in-flight bag.
 
         The sender identity comes from the calling process, so origins are
         authenticated (secure channels).  Unknown recipients are an error —
         the topology is fixed before the run.
+
+        ``wire_size`` lets broadcast senders stamp a precomputed size onto
+        all ``n`` copies of a message instead of each copy re-deriving it
+        (the size is a pure function of ``(tag, mtype, payload)``).
         """
         if recipient not in self._processes:
             raise SimulationError(f"message to unknown party {recipient}")
@@ -128,8 +208,11 @@ class Simulator:
                           recipient=recipient, payload=payload,
                           msg_id=self._next_msg_id, depth=depth,
                           cause_id=cause_id)
+        if wire_size is not None:
+            message._wire_size = wire_size
         self._next_msg_id += 1
         self._pending.append(message)
+        self.scheduler.note_enqueue(message)
         self.metrics.record(message)
         if self.obs is not None:
             self.obs.on_send(message, self.time,
@@ -200,6 +283,7 @@ class Simulator:
         if not 0 <= index < len(self._pending):
             raise SimulationError("scheduler chose an invalid message")
         message = self._pending.pop(index)
+        self.scheduler.note_pop(message)
         self._tick()
         if self._record_deliveries:
             self.event_log.append(LocalEvent(

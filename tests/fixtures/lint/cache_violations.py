@@ -1,0 +1,34 @@
+"""Seeded ``det-cache-order`` violations (never imported, AST-scanned only).
+
+Line numbers are pinned in ``tests/test_lint_rules.py`` — append new
+material at the end instead of inserting above existing violations.
+"""
+
+import functools
+from functools import lru_cache
+
+
+@functools.lru_cache(maxsize=128)
+def memoized_with_lru_cache(value):
+    return value * 2
+
+
+@functools.cache
+def memoized_with_cache(value):
+    return value + 1
+
+
+@lru_cache
+def memoized_with_imported_name(value):
+    return value - 1
+
+
+# The sanctioned idiom stays quiet: an explicitly-owned,
+# insertion-ordered cache from repro.common.lru.
+from repro.common.lru import LruCache  # noqa: E402
+
+_PLAN_CACHE = LruCache(capacity=16)
+
+
+def memoized_with_sanctioned_cache(value):
+    return _PLAN_CACHE.get_or_compute(value, lambda: value * 3)

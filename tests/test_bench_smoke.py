@@ -1,0 +1,82 @@
+"""Smoke tests for the benchmark harness (``repro bench --quick``).
+
+These run next to the tier-1 suite so a broken benchmark path is caught
+at test time, not when someone needs performance numbers.  The quick
+variants use tiny iteration counts — the point is that every benchmark
+*runs* and emits well-formed rows, not that the numbers mean anything.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.obs.bench import (
+    BenchRow,
+    compare_rows,
+    run_macro_benchmarks,
+    run_micro_benchmarks,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_quick_micro_benchmarks_emit_rows():
+    rows = run_micro_benchmarks(quick=True)
+    names = [row.name for row in rows]
+    assert "micro.decode_repeated" in names
+    assert "micro.gf_matvec_encode" in names
+    for row in rows:
+        assert isinstance(row, BenchRow)
+        assert row.iterations >= 1
+        assert row.seconds >= 0
+
+
+def test_quick_macro_benchmark_emits_atomic_row():
+    rows = run_macro_benchmarks(quick=True)
+    assert [row.name for row in rows] == ["macro.atomic_rw"]
+    params = rows[0].params
+    assert params["messages"] > 0 and params["message_bytes"] > 0
+
+
+def test_compare_rows_joins_on_name_and_params():
+    baseline = [{"name": "x", "params": {"n": 4}, "iterations": 2,
+                 "seconds": 2.0, "per_iteration_us": 1_000_000.0}]
+    after = [{"name": "x", "params": {"n": 4, "messages": 9},
+              "iterations": 4, "seconds": 1.0,
+              "per_iteration_us": 250_000.0}]
+    joined = compare_rows(baseline, after)
+    assert len(joined) == 1
+    assert joined[0]["speedup"] == 4.0
+
+
+def test_cli_bench_quick_writes_json(tmp_path):
+    """The end-to-end smoke target: ``repro bench --quick`` must run and
+    write a ``BENCH_*.json`` document."""
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "bench", "--quick",
+         "--label", "smoke", "--out", str(tmp_path)],
+        capture_output=True, text=True, timeout=600, cwd=REPO_ROOT,
+        env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")})
+    assert result.returncode == 0, result.stderr
+    written = list(tmp_path.glob("BENCH_*smoke*.json"))
+    assert written, (result.stdout, result.stderr)
+    document = json.loads(written[0].read_text())
+    rows = document["data"]["rows"]
+    assert any(row["name"] == "macro.atomic_rw" for row in rows)
+    assert any(row["name"].startswith("micro.") for row in rows)
+
+
+def test_checked_in_benchmark_pair_meets_acceptance_gates():
+    """The committed baseline/after pair documents the PR's speedups:
+    >= 3x on the n=16 Atomic macrobench, >= 5x on repeated decode."""
+    bench_dir = REPO_ROOT / "benchmarks"
+    baseline = json.loads(
+        (bench_dir / "BENCH_baseline_perf.json").read_text())
+    after = json.loads((bench_dir / "BENCH_after_perf.json").read_text())
+    joined = compare_rows(baseline["data"]["rows"], after["data"]["rows"])
+    by_key = {(row["name"], row["params"].get("n")): row["speedup"]
+              for row in joined}
+    assert by_key[("macro.atomic_rw", 16)] >= 3.0
+    assert by_key[("micro.decode_repeated", 16)] >= 5.0

@@ -172,3 +172,51 @@ def test_lint_config_scope_defaults():
     assert config.in_scope("determinism", "some_fixture_module")
     # The linter exempts itself from protocol-only packs.
     assert not config.in_scope("determinism", "repro.lint.engine")
+
+
+def test_determinism_pack_flags_functools_caches():
+    report = findings_for("cache_violations.py", only={"determinism"})
+    path = str(FIXTURES / "cache_violations.py")
+    assert locate(report, "det-cache-order") == [
+        (path, 8), (path, 11), (path, 16)]
+    # The sanctioned repro.common.lru.LruCache usage stays quiet: the
+    # only findings in the fixture are the functools memoizers.
+    assert {f.rule for f in report.active} == {"det-cache-order"}
+
+
+def test_cache_rule_exempts_sanctioned_lru_module():
+    """The one place allowed to implement caching is repro.common.lru —
+    the rule exempts it by dotted name, not by waiver comments."""
+    import ast as _ast
+
+    from repro.lint.engine import ModuleInfo, Project
+    from repro.lint.rules.determinism import (
+        _SANCTIONED_CACHE_MODULES,
+        DeterminismRule,
+    )
+
+    assert "repro.common.lru" in _SANCTIONED_CACHE_MODULES
+    source = "import functools\n\n@functools.lru_cache\ndef f(x):\n    return x\n"
+
+    def module_named(dotted):
+        return ModuleInfo(path=Path(f"{dotted}.py"), dotted=dotted,
+                          tree=_ast.parse(source),
+                          source_lines=source.splitlines())
+
+    rule = DeterminismRule()
+    config = LintConfig(scope_all_packages=False)
+    flagged = list(rule.run(
+        Project(modules=[module_named("repro.net.example")]), config))
+    assert [f.rule for f in flagged] == ["det-cache-order"]
+    exempt = list(rule.run(
+        Project(modules=[module_named("repro.common.lru")]), config))
+    assert exempt == []
+
+
+def test_determinism_scope_covers_kernel_and_common_modules():
+    config = LintConfig()
+    assert config.in_scope("determinism", "repro.erasure.reed_solomon")
+    assert config.in_scope("determinism", "repro.crypto.hashing")
+    assert config.in_scope("determinism", "repro.common.lru")
+    # The quorum/handler packs keep their protocol-only scope.
+    assert not config.in_scope("quorum", "repro.erasure.reed_solomon")

@@ -1,0 +1,110 @@
+"""Regenerate the golden-schedule fixtures (tests/fixtures/golden_schedules.json).
+
+The fixtures pin, for a handful of seeded workloads, a canonical digest of
+the simulator's full event log (deliveries included).  The golden-schedule
+regression tests replay the same workloads and assert the digests match,
+which proves scheduling-core refactors (the pending-bag, scheduler
+incrementalisation) are *schedule-preserving*: for a fixed seed the refactor
+may not change a single delivery choice.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tools/gen_golden_schedules.py
+
+Only regenerate when a schedule change is *intended* (e.g. a new scheduler
+feature that legitimately alters delivery order); note the reason in the
+commit message.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.cluster import build_cluster  # noqa: E402
+from repro.common.ids import server_id  # noqa: E402
+from repro.config import SystemConfig  # noqa: E402
+from repro.net.schedulers import (  # noqa: E402
+    FifoScheduler,
+    RandomScheduler,
+    SlowPartiesScheduler,
+)
+from repro.workloads.generator import random_workload, run_workload  # noqa: E402
+
+FIXTURE = REPO / "tests" / "fixtures" / "golden_schedules.json"
+
+
+def _make_scheduler(spec: dict):
+    kind = spec["scheduler"]
+    if kind == "fifo":
+        return FifoScheduler()
+    if kind == "random":
+        return RandomScheduler(spec["scheduler_seed"])
+    if kind == "slow-parties":
+        victims = [server_id(j) for j in spec["slow_servers"]]
+        return SlowPartiesScheduler(victims, seed=spec["scheduler_seed"])
+    raise ValueError(f"unknown scheduler spec {kind!r}")
+
+
+def run_case(spec: dict) -> dict:
+    """Run one seeded workload and return its canonical schedule record."""
+    config = SystemConfig(n=spec["n"], t=spec["t"], seed=spec["seed"])
+    cluster = build_cluster(config, protocol=spec["protocol"],
+                            num_clients=spec["clients"],
+                            scheduler=_make_scheduler(spec))
+    # Log every delivery, not just input/output actions: the golden digest
+    # must pin the exact delivery order, not merely its observable effects.
+    cluster.simulator._record_deliveries = True
+    operations = random_workload(spec["clients"], writes=spec["writes"],
+                                 reads=spec["reads"], seed=spec["seed"])
+    run_workload(cluster, "reg", operations, seed=spec["seed"])
+    lines = [repr(event) for event in cluster.simulator.event_log]
+    blob = "\n".join(lines).encode()
+    return {
+        "spec": spec,
+        "events": len(lines),
+        "sha256": hashlib.sha256(blob).hexdigest(),
+        "head": lines[:2],
+        "tail": lines[-2:],
+    }
+
+
+CASES = [
+    {"name": "fifo_atomic_ns", "scheduler": "fifo", "protocol": "atomic_ns",
+     "n": 4, "t": 1, "clients": 2, "writes": 3, "reads": 3, "seed": 7},
+    {"name": "random_atomic_ns", "scheduler": "random",
+     "scheduler_seed": 11, "protocol": "atomic_ns",
+     "n": 4, "t": 1, "clients": 2, "writes": 3, "reads": 3, "seed": 11},
+    {"name": "random_atomic", "scheduler": "random",
+     "scheduler_seed": 5, "protocol": "atomic",
+     "n": 7, "t": 2, "clients": 2, "writes": 2, "reads": 2, "seed": 5},
+    {"name": "priority_atomic_ns", "scheduler": "slow-parties",
+     "scheduler_seed": 13, "slow_servers": [1], "protocol": "atomic_ns",
+     "n": 4, "t": 1, "clients": 2, "writes": 3, "reads": 3, "seed": 13},
+]
+
+
+def main() -> int:
+    records = [run_case(dict(spec)) for spec in CASES]
+    document = {
+        "comment": "golden schedule digests; regenerate with "
+                   "tools/gen_golden_schedules.py only when a schedule "
+                   "change is intended",
+        "cases": records,
+    }
+    FIXTURE.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n",
+                       encoding="utf-8")
+    for record in records:
+        print(f"{record['spec']['name']:>20}: {record['events']:5d} events "
+              f"{record['sha256'][:16]}")
+    print(f"wrote {FIXTURE}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
