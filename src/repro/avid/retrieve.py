@@ -73,13 +73,25 @@ class AvidRetrieverClient:
 
         def check():
             """Done when some commitment group holds ``k`` valid blocks,
-            or ``n - t`` servers answered 'nothing stored' (a corrupted
-            server can delay the verdict only until honest replies
-            arrive, never flip it)."""
+            or ``n - t`` servers answered either 'nothing stored' or a
+            block that fails verification.
+
+            Unverifiable replies count toward the negative verdict just
+            like explicit misses: both come from servers that do not
+            hold a validly dispersed block.  This keeps the guarantee
+            that ``n - t`` replies suffice for a verdict (a Byzantine
+            server sending garbage instead of staying silent must not
+            force the client to wait for extra replies), and it can
+            never flip the verdict of a retrievable value: after a
+            completed dispersal every honest server's reply verifies
+            against its commitment, so missing-or-invalid replies all
+            come from the at most ``t < n - t`` faulty servers and
+            never reach the quorum."""
             replies = process.inbox.first_per_sender(tag, MSG_BLOCK,
                                                      where=matches)
             groups: Dict[bytes, Dict[int, bytes]] = {}
             missing = 0
+            invalid = 0
             for message in replies:
                 _, commitment, block, witness = message.payload
                 if commitment is None or not isinstance(block, bytes):
@@ -89,6 +101,8 @@ class AvidRetrieverClient:
                 if scheme.verify(commitment, index, block, witness):
                     groups.setdefault(encode(commitment),
                                       {})[index] = block
+                else:
+                    invalid += 1
             for blocks in groups.values():
                 if len(blocks) >= config.k:
                     try:
@@ -96,7 +110,7 @@ class AvidRetrieverClient:
                             blocks.items()))
                     except Exception:
                         continue  # inconsistent group: keep waiting
-            if missing >= config.quorum:
+            if missing + invalid >= config.quorum:
                 return ("missing", None)
             return None
 

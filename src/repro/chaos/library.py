@@ -1,0 +1,86 @@
+"""Built-in fault plans: the campaign's standard probe battery.
+
+Each builder takes the deployment shape ``(n, t)`` plus a plan seed and
+returns a :class:`~repro.chaos.plan.FaultPlan` scaled to it.  The
+battery covers every fault kind the injector supports, one kind per
+plan plus a mixed plan, and two special entries:
+
+* ``"none"`` — the control plan: injects nothing; attaching it must
+  leave schedules byte-identical (pinned by the golden-schedule tests);
+* ``"boundary"`` — deliberately crashes ``t + 1`` servers
+  (``exceeds_t``), modelling an ``n = 3t`` deployment inside an
+  ``n = 3t + 1`` one.  The paper proves no protocol survives this, so
+  the campaign *expects* a wait-freedom violation here — finding one is
+  the negative control that proves the harness can detect failures.
+
+Within-budget plans designate the *last* server faulty (index ``n``),
+keeping servers ``1..n-1`` honest; all fault budgets are small
+constants, so honest quorums of ``n - t`` remain reachable and every
+within-budget run must stay atomic and wait-free.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.chaos.plan import CrashSpec, FaultPlan, FaultRule, PartitionSpec
+from repro.common.errors import ConfigurationError
+
+#: Names accepted by :func:`builtin_plan`, in presentation order.
+BUILTIN_PLANS: Tuple[str, ...] = (
+    "none", "drops", "duplicates", "corruption", "delays",
+    "partition", "crash", "crash-recover", "mixed", "boundary",
+)
+
+#: The battery a default campaign sweeps: everything except the
+#: deliberately-failing boundary probe (requested via ``--boundary``).
+DEFAULT_BATTERY: Tuple[str, ...] = BUILTIN_PLANS[:-1]
+
+
+def builtin_plan(name: str, n: int, t: int, seed: int = 0) -> FaultPlan:
+    """The built-in plan ``name`` scaled to an ``(n, t)`` deployment."""
+    faulty = (n,)
+    if name == "none":
+        return FaultPlan(name=name, seed=seed)
+    if name == "drops":
+        return FaultPlan(name=name, seed=seed, faulty=faulty, rules=(
+            FaultRule(kind="drop", party=n, limit=4),))
+    if name == "duplicates":
+        return FaultPlan(name=name, seed=seed, faulty=faulty, rules=(
+            FaultRule(kind="duplicate", party=n, limit=4),))
+    if name == "corruption":
+        return FaultPlan(name=name, seed=seed, faulty=faulty, rules=(
+            FaultRule(kind="corrupt", party=n, limit=4),))
+    if name == "delays":
+        return FaultPlan(name=name, seed=seed, faulty=faulty, rules=(
+            FaultRule(kind="delay", party=n, limit=5, delay=25),))
+    if name == "partition":
+        # Briefly isolate one honest server: pure asynchrony, no party
+        # misbehaves, so no faulty designation is needed.
+        return FaultPlan(name=name, seed=seed,
+                         partition=PartitionSpec(group=(1,), heal_at=40))
+    if name == "crash":
+        return FaultPlan(name=name, seed=seed, faulty=faulty, crashes=(
+            CrashSpec(server=n, after=5),))
+    if name == "crash-recover":
+        return FaultPlan(name=name, seed=seed, faulty=faulty, crashes=(
+            CrashSpec(server=n, after=5, recover_after=10),))
+    if name == "mixed":
+        return FaultPlan(
+            name=name, seed=seed, faulty=faulty,
+            rules=(FaultRule(kind="drop", party=n, limit=2),
+                   FaultRule(kind="corrupt", party=n, limit=2),
+                   FaultRule(kind="duplicate", party=n, limit=2),
+                   FaultRule(kind="delay", party=n, limit=3, delay=15)),
+            partition=PartitionSpec(group=(1,), heal_at=50))
+    if name == "boundary":
+        # Fail-stop t+1 servers from delivery zero: only n - t - 1 < n - t
+        # honest servers remain, so no quorum can ever form — the n = 3t
+        # impossibility made executable.
+        victims = tuple(range(n - t, n + 1))
+        return FaultPlan(
+            name=name, seed=seed, faulty=victims, exceeds_t=True,
+            crashes=tuple(CrashSpec(server=index, after=0)
+                          for index in victims))
+    raise ConfigurationError(
+        f"unknown builtin plan {name!r}; choose from {BUILTIN_PLANS}")

@@ -1,0 +1,92 @@
+"""Reproducer shrinking: minimize a failing fault plan.
+
+When a campaign run fails, the raw plan usually injects more faults
+than the failure needs.  :func:`shrink_plan` bisects it down
+delta-debugging style: repeatedly try removing whole plan components
+(rules, crashes, the partition) and halving rule budgets and delays,
+keeping each reduction only if the shrunk plan still reproduces the
+*same* failure status.  Because runs are deterministic, each candidate
+needs exactly one execution — no retries, no flakiness — and the
+result is a locally-minimal plan: removing any remaining component or
+halving any remaining budget makes the failure disappear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Tuple
+
+from repro.chaos.campaign import RunResult, RunSpec, execute_run
+from repro.chaos.plan import FaultPlan, FaultRule
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """Outcome of shrinking one failing run."""
+
+    spec: RunSpec          #: the original spec with the minimal plan
+    result: RunResult      #: the failing run of the minimal plan
+    attempts: int          #: candidate executions spent shrinking
+    removed: int           #: plan components eliminated
+
+
+def _candidates(plan: FaultPlan) -> List[Tuple[str, FaultPlan]]:
+    """Single-step reductions of ``plan``, in deterministic order."""
+    out: List[Tuple[str, FaultPlan]] = []
+    for index in range(len(plan.rules)):
+        out.append((f"drop rule {index}", plan.without_rule(index)))
+    for index in range(len(plan.crashes)):
+        out.append((f"drop crash {index}", plan.without_crash(index)))
+    if plan.partition is not None:
+        out.append(("drop partition", plan.without_partition()))
+    for index, rule in enumerate(plan.rules):
+        if rule.limit > 1:
+            halved = FaultRule(kind=rule.kind, party=rule.party,
+                               mtype=rule.mtype, limit=rule.limit // 2,
+                               delay=rule.delay)
+            out.append((f"halve budget of rule {index}",
+                        plan.with_rule(index, halved)))
+        if rule.kind == "delay" and rule.delay > 1:
+            shorter = FaultRule(kind=rule.kind, party=rule.party,
+                                mtype=rule.mtype, limit=rule.limit,
+                                delay=rule.delay // 2)
+            out.append((f"halve delay of rule {index}",
+                        plan.with_rule(index, shorter)))
+    return out
+
+
+def shrink_plan(spec: RunSpec, failing_status: str,
+                max_attempts: int = 200) -> ShrinkResult:
+    """Greedily minimize ``spec.plan`` while preserving the failure.
+
+    ``failing_status`` is the status the original run produced
+    (``stalled`` or ``violation``); a candidate is accepted only when
+    it reproduces that exact status, so shrinking never trades one
+    failure mode for another.  Terminates at a fixed point (no
+    single-step reduction still fails) or after ``max_attempts``
+    candidate runs.
+    """
+    current = spec
+    best = execute_run(current)
+    if best.status != failing_status:
+        raise ValueError(
+            f"shrink oracle mismatch: plan produced {best.status!r}, "
+            f"expected {failing_status!r}")
+    attempts = 1
+    removed = 0
+    progress = True
+    while progress and attempts < max_attempts:
+        progress = False
+        for _, candidate_plan in _candidates(current.plan):
+            if attempts >= max_attempts:
+                break
+            candidate = replace(current, plan=candidate_plan)
+            outcome = execute_run(candidate)
+            attempts += 1
+            if outcome.status == failing_status:
+                current, best = candidate, outcome
+                removed += 1
+                progress = True
+                break  # restart the scan from the smaller plan
+    return ShrinkResult(spec=current, result=best, attempts=attempts,
+                        removed=removed)

@@ -9,6 +9,9 @@ Usage::
     python -m repro.cli experiments --fast --bench-dir out/
     python -m repro.cli experiments t1 f4 f6
     python -m repro.cli info --n 7 --t 2
+    python -m repro.cli chaos --seeds 3 --boundary \
+        --out chaos-report.json --reproducer-dir reproducers/
+    python -m repro.cli chaos --replay reproducers/chaos_atomic_ns_boundary_s0.json
     python -m repro.cli lint src/repro --format json
     python -m repro.cli bench --label mine --out benchmarks \
         --compare benchmarks/BENCH_baseline_perf.json
@@ -225,6 +228,86 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run_from_args(args)
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.chaos import (
+        BUILTIN_PLANS,
+        DEFAULT_BATTERY,
+        STATUS_OK,
+        campaign_report,
+        replay_reproducer,
+        save_reproducer,
+        shrink_plan,
+        sweep,
+    )
+
+    if args.replay:
+        result, faithful = replay_reproducer(args.replay)
+        print(f"replayed {args.replay}: status={result.status} "
+              f"digest={result.digest[:16]}")
+        print("deterministic replay: "
+              + ("reproduced bit-for-bit" if faithful
+                 else "MISMATCH against the recorded failure"))
+        return 0 if faithful else 1
+
+    if args.smoke:
+        protocols = ["atomic_ns"]
+        plan_names = ["none", "drops", "crash"]
+        seeds = [0]
+    else:
+        protocols = args.protocols or ["atomic", "atomic_ns", "martin"]
+        plan_names = list(args.plans or DEFAULT_BATTERY)
+        seeds = list(range(args.seeds))
+    unknown = sorted(set(plan_names) - set(BUILTIN_PLANS))
+    if unknown:
+        print(f"unknown plans: {unknown}; choose from "
+              f"{list(BUILTIN_PLANS)}", file=sys.stderr)
+        return 2
+    if args.boundary and "boundary" not in plan_names:
+        plan_names.append("boundary")
+
+    results = sweep(protocols, plan_names, seeds, n=args.n, t=args.t)
+    print(f"{'protocol':<10} {'plan':<14} {'seed':>4} {'status':<10} "
+          f"{'faults':>6}  detail")
+    for result in results:
+        marker = "" if result.expected else "  <-- UNEXPECTED"
+        print(f"{result.spec.protocol:<10} {result.spec.plan.name:<14} "
+              f"{result.spec.seed:>4} {result.status:<10} "
+              f"{sum(result.faults.values()):>6}  "
+              f"{result.detail[:60]}{marker}")
+    report = campaign_report(results)
+    print(f"\n{report['runs']} runs: {report['by_status']}; "
+          f"{report['unexpected']} unexpected outcome(s)")
+
+    failing = [result for result in results
+               if result.status != STATUS_OK]
+    if failing and args.reproducer_dir:
+        os.makedirs(args.reproducer_dir, exist_ok=True)
+        for result in failing:
+            spec = result.spec
+            if args.no_shrink:
+                final = result
+            else:
+                shrunk = shrink_plan(spec, result.status)
+                final = shrunk.result
+                print(f"shrunk {spec.protocol}/{spec.plan.name}/"
+                      f"s{spec.seed}: removed "
+                      f"{shrunk.removed} component(s) in "
+                      f"{shrunk.attempts} runs")
+            name = (f"chaos_{spec.protocol}_{spec.plan.name}_"
+                    f"s{spec.seed}.json")
+            path = os.path.join(args.reproducer_dir, name)
+            save_reproducer(final, path)
+            print(f"wrote reproducer {path}")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as stream:
+            json.dump(report, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        print(f"wrote campaign report to {args.out}")
+    return 0 if not report["unexpected"] else 1
+
+
 def _add_workload_arguments(parser: argparse.ArgumentParser,
                             default_protocol: str) -> None:
     """Cluster/workload options shared by ``simulate`` and ``trace``."""
@@ -308,6 +391,40 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("--k", type=int, default=None)
     info.add_argument("--value-size", type=int, default=4096)
     info.set_defaults(handler=_cmd_info)
+
+    chaos = commands.add_parser(
+        "chaos", help="fault-injection campaigns: sweep seeds x plans x "
+                      "protocols, check atomicity and wait-freedom, "
+                      "shrink and serialize failures")
+    chaos.add_argument("--protocols", nargs="*", default=None,
+                       metavar="NAME",
+                       help="protocols to sweep (default: atomic "
+                            "atomic_ns martin)")
+    chaos.add_argument("--plans", nargs="*", default=None, metavar="PLAN",
+                       help="builtin fault plans to sweep (default: all "
+                            "within-budget plans)")
+    chaos.add_argument("--seeds", type=int, default=1, metavar="N",
+                       help="sweep workload/plan seeds 0..N-1")
+    chaos.add_argument("--n", type=int, default=4)
+    chaos.add_argument("--t", type=int, default=1)
+    chaos.add_argument("--smoke", action="store_true",
+                       help="tier-1 smoke: one protocol, three plans, "
+                            "one seed")
+    chaos.add_argument("--boundary", action="store_true",
+                       help="include the n=3t boundary probe (crashes "
+                            "t+1 servers; a failure is expected there)")
+    chaos.add_argument("--out", metavar="FILE", default=None,
+                       help="write the JSON campaign report to FILE")
+    chaos.add_argument("--reproducer-dir", metavar="DIR", default=None,
+                       help="serialize failing (seed, plan) reproducers "
+                            "into DIR")
+    chaos.add_argument("--no-shrink", action="store_true",
+                       help="serialize failing plans as-is instead of "
+                            "bisect-shrinking them first")
+    chaos.add_argument("--replay", metavar="FILE", default=None,
+                       help="re-execute a serialized reproducer and "
+                            "verify the bit-for-bit replay")
+    chaos.set_defaults(handler=_cmd_chaos)
 
     from repro.lint.runner import add_lint_arguments
     lint = commands.add_parser(

@@ -72,20 +72,28 @@ class Cluster:
 
     def write(self, client_index: int, tag: str, oid: str,
               value: bytes) -> OperationHandle:
-        """Invoke a write and run the network until it terminates."""
+        """Invoke a write and run the network until it terminates.
+
+        Raises :class:`LivenessError` when the network quiesces with the
+        operation still pending (``run_until`` reports that explicitly)."""
         handle = self.client(client_index).invoke_write(tag, oid, value)
-        self.simulator.run_until(lambda: handle.done)
-        if not handle.done:
-            raise LivenessError(f"write {oid} did not terminate")
+        try:
+            self.simulator.run_until(lambda: handle.done)
+        except LivenessError as exc:
+            raise LivenessError(f"write {oid} did not terminate") from exc
         return handle
 
     def read(self, client_index: int, tag: str,
              oid: str) -> OperationHandle:
-        """Invoke a read and run the network until it terminates."""
+        """Invoke a read and run the network until it terminates.
+
+        Raises :class:`LivenessError` when the network quiesces with the
+        operation still pending (``run_until`` reports that explicitly)."""
         handle = self.client(client_index).invoke_read(tag, oid)
-        self.simulator.run_until(lambda: handle.done)
-        if not handle.done:
-            raise LivenessError(f"read {oid} did not terminate")
+        try:
+            self.simulator.run_until(lambda: handle.done)
+        except LivenessError as exc:
+            raise LivenessError(f"read {oid} did not terminate") from exc
         return handle
 
 

@@ -20,20 +20,14 @@ Two claims implicit in the paper's model and design:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence
+from typing import List
 
 from repro.analysis.history import HistoryRecorder
 from repro.cluster import build_cluster
 from repro.common.ids import server_id
 from repro.config import SystemConfig
 from repro.experiments.common import render_table
-from repro.net.schedulers import (
-    FifoScheduler,
-    PartitionScheduler,
-    RandomScheduler,
-    Scheduler,
-    SlowPartiesScheduler,
-)
+from repro.net.schedulers import make_scheduler
 from repro.workloads.generator import random_workload, run_workload
 
 TAG = "reg"
@@ -48,14 +42,29 @@ class SensitivityRow:
     load_imbalance: float
 
 
+#: The sweep as declarative factory configs (name, kwargs) — everything
+#: an experiment config file can express is reachable through
+#: :func:`repro.net.schedulers.make_scheduler`.
+SCHEDULER_CONFIGS = [
+    ("fifo", "fifo", {}),
+    ("random", "random", {}),
+    ("starve-P1", "slow-parties", {"slow_parties": [1]}),
+    ("partition-heals", "partition",
+     {"group": [1, 2], "heal_after": 300}),
+]
+
+
 def _schedulers(seed: int) -> List:
-    return [
-        ("fifo", FifoScheduler()),
-        ("random", RandomScheduler(seed)),
-        ("starve-P1", SlowPartiesScheduler({server_id(1)}, seed=seed)),
-        ("partition-heals", PartitionScheduler(
-            {server_id(1), server_id(2)}, heal_after=300, seed=seed)),
-    ]
+    built = []
+    for label, kind, params in SCHEDULER_CONFIGS:
+        kwargs = dict(params)
+        if "slow_parties" in kwargs:
+            kwargs["slow_parties"] = {server_id(j)
+                                      for j in kwargs["slow_parties"]}
+        if "group" in kwargs:
+            kwargs["group"] = {server_id(j) for j in kwargs["group"]}
+        built.append((label, make_scheduler(kind, seed=seed, **kwargs)))
+    return built
 
 
 def run(protocol: str = "atomic_ns", n: int = 4, t: int = 1,

@@ -26,19 +26,47 @@ class _FailStopMixin:
     After the crash point, received messages are still buffered (the
     paper's model always delivers) but never processed, and the parked
     threads never resume — exactly a fail-stop party.
+
+    With ``recover_after`` set, the crash is transient: after that many
+    further messages have reached the server while it is down, it comes
+    back up and replays the buffered backlog through normal processing
+    — state is process-local, so recovery resumes from the pre-crash
+    state plus everything delivered in the meantime (a reboot, not an
+    amnesiac replacement).  The chaos plane's ``crash-recover`` plans
+    are built on this; ``recover_after=None`` keeps the historical
+    permanently-crashed behaviour.
     """
 
-    def _init_failstop(self, crash_after: int) -> None:
+    def _init_failstop(self, crash_after: int,
+                       recover_after=None) -> None:
         self._crash_after = crash_after
+        self._recover_after = recover_after
         self._delivered = 0
+        self._recovered = False
+        self._down_buffer = []
 
     @property
     def crashed(self) -> bool:
-        return self._delivered >= self._crash_after
+        return (not self._recovered
+                and self._delivered >= self._crash_after)
+
+    @property
+    def recovered(self) -> bool:
+        """Whether a transient crash has already healed."""
+        return self._recovered
 
     def receive(self, message: Message) -> None:  # type: ignore[override]
         if self.crashed:
-            self.inbox.add(message)
+            if self._recover_after is None:
+                self.inbox.add(message)
+                return
+            self._down_buffer.append(message)
+            if len(self._down_buffer) >= self._recover_after:
+                self._recovered = True
+                backlog, self._down_buffer = self._down_buffer, []
+                for held in backlog:
+                    self._delivered += 1
+                    super().receive(held)
             return
         self._delivered += 1
         super().receive(message)
@@ -48,24 +76,27 @@ class FailStopServer(_FailStopMixin, AtomicServer):
     """Protocol Atomic server that crashes after N deliveries."""
 
     def __init__(self, pid: PartyId, config: SystemConfig,
-                 initial_value: bytes = b"", crash_after: int = 0):
+                 initial_value: bytes = b"", crash_after: int = 0,
+                 recover_after=None):
         super().__init__(pid, config, initial_value)
-        self._init_failstop(crash_after)
+        self._init_failstop(crash_after, recover_after=recover_after)
 
 
 class FailStopNSServer(_FailStopMixin, AtomicNSServer):
     """Protocol AtomicNS server that crashes after N deliveries."""
 
     def __init__(self, pid: PartyId, config: SystemConfig,
-                 initial_value: bytes = b"", crash_after: int = 0):
+                 initial_value: bytes = b"", crash_after: int = 0,
+                 recover_after=None):
         super().__init__(pid, config, initial_value)
-        self._init_failstop(crash_after)
+        self._init_failstop(crash_after, recover_after=recover_after)
 
 
 class FailStopMartinServer(_FailStopMixin, MartinServer):
     """SBQ-L server that crashes after N deliveries."""
 
     def __init__(self, pid: PartyId, config: SystemConfig,
-                 initial_value: bytes = b"", crash_after: int = 0):
+                 initial_value: bytes = b"", crash_after: int = 0,
+                 recover_after=None):
         super().__init__(pid, config, initial_value)
-        self._init_failstop(crash_after)
+        self._init_failstop(crash_after, recover_after=recover_after)

@@ -27,6 +27,10 @@ PROTOCOL_PREFIXES: Tuple[str, ...] = (
     "repro.baselines",
     "repro.faults",
     "repro.obs",
+    # The chaos plane interposes on the protocol hot path and promises
+    # bit-for-bit replay, so it is held to the same determinism and
+    # handler-completeness bar as the protocols it perturbs.
+    "repro.chaos",
 )
 
 #: Extra modules held to the determinism bar beyond the protocol core:

@@ -134,6 +134,10 @@ class Message:
 EVENT_INPUT = "in"
 EVENT_OUTPUT = "out"
 EVENT_DELIVER = "deliver"
+#: A fault injected by the chaos plane (:mod:`repro.chaos`): the event's
+#: ``action`` names the fault kind and the payload identifies the
+#: affected message, so every injected fault is replayable from the log.
+EVENT_CHAOS = "chaos"
 
 
 @dataclass(frozen=True, slots=True)

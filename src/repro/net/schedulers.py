@@ -84,6 +84,14 @@ class PriorityScheduler(Scheduler):
         #: enqueue and dropped on pop, so it tracks exactly the pending
         #: set when driven by a simulator.
         self._classes: dict = {}
+        #: msg_ids counted into the pending counters by
+        #: :meth:`note_enqueue`.  Standalone :meth:`choose` calls also
+        #: memoize classifications into ``_classes``, so ``note_pop``
+        #: must only decrement for messages it actually counted — a
+        #: mixed standalone/simulator user would otherwise drive
+        #: ``_pending_total`` negative and permanently disable the
+        #: incremental fast path.
+        self._noted: set = set()
         self._pending_total = 0
         self._pending_preferred = 0
         self._tracking = False
@@ -97,12 +105,16 @@ class PriorityScheduler(Scheduler):
 
     def note_enqueue(self, message: Message) -> None:
         self._tracking = True
+        self._noted.add(message.msg_id)
         if not self._classify(message):
             self._pending_preferred += 1
         self._pending_total += 1
 
     def note_pop(self, message: Message) -> None:
         flag = self._classes.pop(message.msg_id, None)
+        if message.msg_id not in self._noted:
+            return  # classified standalone, never counted as pending
+        self._noted.discard(message.msg_id)
         if flag is False:
             self._pending_preferred -= 1
         self._pending_total -= 1
@@ -181,10 +193,26 @@ class PartitionScheduler(Scheduler):
 
 
 def make_scheduler(name: str, seed: int = 0,
-                   deprioritize: Optional[Callable[[Message], bool]] = None
-                   ) -> Scheduler:
-    """Factory used by experiment configs: ``fifo``, ``random``, or
-    ``priority`` (requires ``deprioritize``)."""
+                   deprioritize: Optional[Callable[[Message], bool]] = None,
+                   slow_parties=None, group=None,
+                   heal_after: Optional[int] = None) -> Scheduler:
+    """Factory used by experiment configs and the chaos campaign runner.
+
+    ``name`` selects the strategy; strategy-specific parameters are
+    keyword-only in spirit:
+
+    * ``"fifo"`` / ``"random"`` — no extra parameters (``seed`` for
+      ``random``);
+    * ``"priority"`` — requires ``deprioritize``, a predicate naming the
+      starved messages;
+    * ``"slow-parties"`` — requires ``slow_parties``, the set of
+      :class:`~repro.common.ids.PartyId` victims whose traffic is
+      starved;
+    * ``"partition"`` — requires ``group`` (the partitioned party set)
+      and ``heal_after`` (delivery decisions until the partition heals;
+      mandatory, since a permanent partition would violate eventual
+      delivery).
+    """
     if name == "fifo":
         return FifoScheduler()
     if name == "random":
@@ -193,4 +221,15 @@ def make_scheduler(name: str, seed: int = 0,
         if deprioritize is None:
             raise ValueError("priority scheduler needs a deprioritize rule")
         return PriorityScheduler(deprioritize, seed)
+    if name == "slow-parties":
+        if slow_parties is None:
+            raise ValueError(
+                "slow-parties scheduler needs the victim party set")
+        return SlowPartiesScheduler(slow_parties, seed=seed)
+    if name == "partition":
+        if group is None or heal_after is None:
+            raise ValueError(
+                "partition scheduler needs a party group and a "
+                "heal_after bound (partitions must heal)")
+        return PartitionScheduler(group, heal_after=heal_after, seed=seed)
     raise ValueError(f"unknown scheduler {name!r}")

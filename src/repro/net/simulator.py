@@ -19,9 +19,10 @@ from __future__ import annotations
 from itertools import islice
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
-from repro.common.errors import SimulationError
+from repro.common.errors import LivenessError, SimulationError
 from repro.common.ids import PartyId
 from repro.net.message import (
+    EVENT_CHAOS,
     EVENT_DELIVER,
     EVENT_INPUT,
     EVENT_OUTPUT,
@@ -140,6 +141,11 @@ class Simulator:
         #: :class:`repro.obs.recorder.TraceRecorder`).  ``None`` keeps the
         #: hot path free of tracing overhead.
         self.obs = None
+        #: attached fault injector (duck-typed; see
+        #: :class:`repro.chaos.injector.FaultInjector`).  ``None`` keeps
+        #: the hot path free of interposition overhead; an injector with
+        #: an empty plan is byte-identical to no injector at all.
+        self.chaos = None
 
     def attach_tracer(self, recorder) -> None:
         """Attach a tracing recorder (one per run).
@@ -151,6 +157,23 @@ class Simulator:
         if self.obs is not None:
             raise SimulationError("a tracer is already attached")
         self.obs = recorder
+
+    def attach_injector(self, injector) -> None:
+        """Attach a fault injector (one per run; attach before the run).
+
+        The injector intercepts every enqueue (``intercept_enqueue``) and
+        every scheduling decision (``before_choose``); see
+        :class:`repro.chaos.injector.FaultInjector` for the reference
+        implementation.  With no faults to inject the interposition is
+        schedule-preserving: event logs are byte-identical to a run
+        without an injector.
+        """
+        if self.chaos is not None:
+            raise SimulationError("a fault injector is already attached")
+        self.chaos = injector
+        bind = getattr(injector, "bind", None)
+        if bind is not None:
+            bind(self)
 
     # -- topology -----------------------------------------------------------
 
@@ -211,6 +234,14 @@ class Simulator:
         if wire_size is not None:
             message._wire_size = wire_size
         self._next_msg_id += 1
+        if self.chaos is not None:
+            for actual in self.chaos.intercept_enqueue(message):
+                self._admit(actual)
+        else:
+            self._admit(message)
+
+    def _admit(self, message: Message) -> None:
+        """Place a message into the in-flight bag (post-interception)."""
         self._pending.append(message)
         self.scheduler.note_enqueue(message)
         self.metrics.record(message)
@@ -218,9 +249,25 @@ class Simulator:
             self.obs.on_send(message, self.time,
                              pending=len(self._pending))
 
+    def _fresh_msg_id(self) -> int:
+        """Allocate a message identifier (used by the chaos plane for
+        duplicate copies, which must stay distinguishable in traces)."""
+        msg_id = self._next_msg_id
+        self._next_msg_id += 1
+        return msg_id
+
     @property
     def pending_count(self) -> int:
         return len(self._pending)
+
+    @property
+    def undelivered_count(self) -> int:
+        """Messages not yet delivered: in flight plus any held back by an
+        attached fault injector (delay windows, unhealed partitions)."""
+        count = len(self._pending)
+        if self.chaos is not None:
+            count += self.chaos.held_count
+        return count
 
     # -- event log --------------------------------------------------------------
 
@@ -255,6 +302,19 @@ class Simulator:
             observer(event)
         return event
 
+    def record_chaos(self, party: PartyId, tag: str, action: str,
+                     payload: Tuple[Any, ...]) -> LocalEvent:
+        """Log an injected fault ``(tag, chaos, action, ...)``.
+
+        Called by an attached fault injector for every injected event, so
+        chaos runs carry their full fault schedule in the event log (the
+        same log the golden-schedule digests and replay compare).
+        """
+        event = LocalEvent(self._tick(), party, EVENT_CHAOS, tag, action,
+                           payload)
+        self.event_log.append(event)
+        return event
+
     def add_output_observer(self, observer: OutputObserver) -> None:
         """Subscribe to output actions (used by clients' operation handles
         and by history recorders)."""
@@ -275,8 +335,11 @@ class Simulator:
     def step(self) -> bool:
         """Deliver one message chosen by the scheduler.
 
-        Returns ``False`` when nothing is in flight.
+        Returns ``False`` when nothing is in flight (including nothing
+        held back by an attached fault injector).
         """
+        if self.chaos is not None:
+            self.chaos.before_choose()
         if not self._pending:
             return False
         index = self.scheduler.choose(self._pending)
@@ -308,7 +371,8 @@ class Simulator:
         unbounded Byzantine flood that the experiment should cap itself.
         """
         steps = 0
-        while self._pending:
+        while self._pending or (self.chaos is not None
+                                and self.chaos.held_count):
             if steps >= max_steps:
                 raise SimulationError(
                     f"no quiescence after {max_steps} deliveries")
@@ -319,14 +383,21 @@ class Simulator:
     def run_until(self, predicate: Callable[[], bool],
                   max_steps: int = 1_000_000) -> int:
         """Deliver messages until ``predicate()`` holds (checked after each
-        delivery) or quiescence; returns steps taken.
+        delivery); returns steps taken.
 
-        Raises :class:`SimulationError` if the bound is exhausted first.
+        Raises :class:`LivenessError` if the network quiesces — every
+        message delivered, nothing held back — with the predicate still
+        false: the awaited condition can never occur, which earlier
+        versions silently reported as success.  Raises
+        :class:`SimulationError` if the step bound is exhausted first.
         """
         steps = 0
         while not predicate():
-            if not self._pending:
-                return steps
+            if not self._pending and (self.chaos is None
+                                      or not self.chaos.held_count):
+                raise LivenessError(
+                    f"network quiesced after {steps} deliveries with the "
+                    f"awaited condition still unsatisfied")
             if steps >= max_steps:
                 raise SimulationError(
                     f"predicate unsatisfied after {max_steps} deliveries")

@@ -81,13 +81,13 @@ def run_workload(cluster: Cluster, tag: str,
     queue = list(operations)
     steps = 0
     simulator = cluster.simulator
-    while queue or simulator.pending_count:
+    while queue or simulator.undelivered_count:
         steps += 1
         if steps > max_steps:
             raise SimulationError(
                 f"workload did not quiesce within {max_steps} steps")
         invoke_next = queue and (
-            not simulator.pending_count
+            not simulator.undelivered_count
             or rng.random() < invoke_probability)
         if invoke_next:
             operation = queue.pop(0)

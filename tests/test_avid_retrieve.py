@@ -89,6 +89,34 @@ def test_stored_tags_and_output_actions():
     assert all(event.payload[0] == writer.pid for event in stored_events)
 
 
+def test_garbage_block_counts_toward_negative_verdict():
+    """A Byzantine server answering with an *unverifiable* block must not
+    delay the verdict past ``n - t`` replies: present-but-invalid blocks
+    count toward the negative quorum exactly like explicit misses
+    (previously they counted toward nothing, so the client waited for a
+    fourth reply that the first three already made redundant)."""
+    config = SystemConfig(n=4, t=1)
+    simulator = Simulator()  # FIFO: replies arrive in server order
+    nodes = [simulator.add_process(AvidStorageNode(server_id(j), config))
+             for j in (1, 2, 3, 4)]
+    writer = simulator.add_process(AvidStorageClient(client_id(1), config))
+    reader = simulator.add_process(AvidStorageClient(client_id(2), config))
+    # A real dispersal gives server 1 a structurally valid commitment and
+    # witness to lie with ...
+    writer.disperse("obj", b"legitimate value")
+    simulator.run()
+    commitment, block, witness = nodes[0].storage._stored["obj"]
+    corrupted = bytes(byte ^ 0xFF for byte in block) or b"\x00"
+    # ... which it serves, corrupted, for a tag nothing was stored under.
+    nodes[0].storage.store("ghost", commitment, corrupted, witness)
+    handle = reader.retrieve("ghost")
+    simulator.run_until(lambda: handle.done)
+    assert handle.value is None
+    # The verdict landed on the first n - t = 3 replies (garbage + two
+    # misses); the fourth server's reply is still in flight.
+    assert simulator.pending_count > 0
+
+
 def test_byzantine_node_cannot_corrupt_retrieval():
     """A corrupted node serving a bogus block is filtered by commitment
     verification at the reader."""

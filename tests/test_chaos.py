@@ -1,0 +1,303 @@
+"""The chaos plane: plans, injection, determinism, campaigns, shrink.
+
+The two load-bearing guarantees tested here:
+
+* **Schedule transparency** — attaching an injector with an *empty*
+  plan leaves the event log byte-identical to a run with no injector
+  at all (checked against the golden-schedule fixtures).
+* **Replay determinism** — the same ``(seed, plan)`` always produces
+  the same event log, so serialized reproducers replay bit-for-bit.
+
+Plus the acceptance sweep: within the resilience bound every builtin
+plan leaves all three campaign protocols atomic and wait-free, and the
+deliberate ``n = 3t`` boundary probe is *detected* as a wait-freedom
+violation, shrunk, and faithfully replayed.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.chaos import (
+    DEFAULT_BATTERY,
+    STATUS_OK,
+    STATUS_STALLED,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    CrashSpec,
+    PartitionSpec,
+    RunSpec,
+    builtin_plan,
+    campaign_report,
+    execute_run,
+    replay_reproducer,
+    save_reproducer,
+    shrink_plan,
+    sweep,
+)
+from repro.cluster import build_cluster
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.config import SystemConfig
+from repro.net.schedulers import RandomScheduler
+from repro.workloads.generator import random_workload, run_workload
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+TAG = "reg"
+
+
+# -- plans ---------------------------------------------------------------------
+
+def test_plan_json_round_trip():
+    plan = FaultPlan(
+        name="everything", seed=9, faulty=(3, 4), exceeds_t=True,
+        rules=(FaultRule(kind="drop", party=3, limit=2),
+               FaultRule(kind="delay", party=4, mtype="echo",
+                         limit=1, delay=7)),
+        partition=PartitionSpec(group=(1, 2), heal_at=30),
+        crashes=(CrashSpec(server=3, after=4, recover_after=6),))
+    assert FaultPlan.from_json(plan.to_json()) == plan
+    # And through actual JSON text, as reproducer files store it.
+    assert FaultPlan.from_json(json.loads(json.dumps(plan.to_json()))) \
+        == plan
+
+
+def test_plan_validation_rejects_rule_at_honest_party():
+    plan = FaultPlan(faulty=(4,),
+                     rules=(FaultRule(kind="drop", party=2, limit=1),))
+    with pytest.raises(ConfigurationError):
+        plan.validate(n=4, t=1)
+
+
+def test_plan_validation_rejects_faulty_beyond_t():
+    plan = FaultPlan(faulty=(3, 4))
+    with pytest.raises(ConfigurationError):
+        plan.validate(n=4, t=1)
+    # ... unless the plan declares the boundary probe explicitly.
+    FaultPlan(faulty=(3, 4), exceeds_t=True).validate(n=4, t=1)
+
+
+def test_plan_validation_rejects_unbounded_delay_and_healless_partition():
+    with pytest.raises(ConfigurationError):
+        FaultPlan(faulty=(4,),
+                  rules=(FaultRule(kind="delay", party=4,
+                                   limit=1, delay=0),)).validate(4, 1)
+    with pytest.raises(ConfigurationError):
+        PartitionSpec(group=(1,), heal_at=0).validate()
+
+
+def test_plan_validation_rejects_crash_of_undesignated_server():
+    plan = FaultPlan(faulty=(), crashes=(CrashSpec(server=2),))
+    with pytest.raises(ConfigurationError):
+        plan.validate(n=4, t=1)
+
+
+# -- schedule transparency ------------------------------------------------------
+
+def test_empty_plan_is_byte_identical_to_no_injector():
+    """The tentpole invariant: the interposition hook itself must be
+    schedule-preserving.  Replays every golden-schedule fixture case
+    with an empty-plan injector attached and requires the recorded
+    digests to match exactly."""
+    import sys
+    sys.path.insert(0, str(Path(__file__).parent.parent / "tools"))
+    try:
+        from gen_golden_schedules import run_case
+    finally:
+        sys.path.pop(0)
+    document = json.loads(
+        (FIXTURES / "golden_schedules.json").read_text())
+
+    def attach_empty(cluster):
+        cluster.simulator.attach_injector(
+            FaultInjector(FaultPlan(name="none")))
+
+    for record in document["cases"]:
+        replayed = run_case(dict(record["spec"]), prepare=attach_empty)
+        assert replayed["sha256"] == record["sha256"], \
+            f"case {record['spec']['name']} diverged with an " \
+            f"empty-plan injector attached"
+        assert replayed["events"] == record["events"]
+
+
+def test_same_seed_and_plan_reproduce_identical_event_logs():
+    spec = RunSpec(protocol="atomic_ns",
+                   plan=builtin_plan("mixed", 4, 1, seed=5), seed=5)
+    first = execute_run(spec)
+    second = execute_run(spec)
+    assert first.digest == second.digest
+    assert first.faults == second.faults
+    assert first.steps == second.steps
+
+
+def test_different_plan_seed_changes_injected_schedule():
+    base = RunSpec(protocol="atomic_ns",
+                   plan=builtin_plan("corruption", 4, 1, seed=1), seed=1)
+    other = RunSpec(protocol="atomic_ns",
+                    plan=builtin_plan("corruption", 4, 1, seed=2), seed=1)
+    # Same workload seed, different corruption keystream: the logs
+    # record different corrupted payloads.
+    assert execute_run(base).digest != execute_run(other).digest
+
+
+# -- injector mechanics ---------------------------------------------------------
+
+def _chaos_cluster(plan, seed=0, protocol="atomic_ns"):
+    config = SystemConfig(n=4, t=1, seed=seed)
+    cluster = build_cluster(config, protocol=protocol, num_clients=2,
+                            scheduler=RandomScheduler(seed))
+    injector = FaultInjector(plan)
+    cluster.simulator.attach_injector(injector)
+    return cluster, injector
+
+
+def test_drops_are_recorded_and_counted():
+    plan = FaultPlan(name="d", faulty=(4,),
+                     rules=(FaultRule(kind="drop", party=4, limit=3),))
+    cluster, injector = _chaos_cluster(plan)
+    operations = random_workload(2, writes=2, reads=2, seed=0)
+    run_workload(cluster, TAG, operations, seed=0)
+    counter = injector.instruments.counter("chaos.injected[drop]")
+    assert counter.value == 3  # the budget is exhausted, then honored
+    chaos_events = [event for event in cluster.simulator.event_log
+                    if event.kind == "chaos"]
+    assert len([e for e in chaos_events if e.action == "drop"]) == 3
+
+
+def test_duplicates_get_fresh_message_ids():
+    plan = FaultPlan(name="d", faulty=(4,),
+                     rules=(FaultRule(kind="duplicate", party=4,
+                                      limit=2),))
+    cluster, injector = _chaos_cluster(plan)
+    operations = random_workload(2, writes=2, reads=2, seed=0)
+    run_workload(cluster, TAG, operations, seed=0)
+    assert injector.instruments.counter(
+        "chaos.injected[duplicate]").value == 2
+
+
+def test_delayed_messages_are_eventually_released():
+    plan = FaultPlan(name="d", faulty=(4,),
+                     rules=(FaultRule(kind="delay", party=4, limit=4,
+                                      delay=30),))
+    cluster, injector = _chaos_cluster(plan)
+    operations = random_workload(2, writes=2, reads=2, seed=0)
+    handles = run_workload(cluster, TAG, operations, seed=0)
+    assert all(handle.done for handle in handles.values())
+    assert injector.held_count == 0  # nothing held at quiescence
+    released = sum(
+        injector.instruments.counter(f"chaos.released[{reason}]").value
+        for reason in ("delay-expired", "forced"))
+    assert released == injector.instruments.counter(
+        "chaos.injected[delay]").value == 4
+
+
+def test_partition_heals_and_releases_in_order():
+    plan = FaultPlan(name="p",
+                     partition=PartitionSpec(group=(1,), heal_at=25))
+    cluster, injector = _chaos_cluster(plan)
+    operations = random_workload(2, writes=2, reads=2, seed=0)
+    handles = run_workload(cluster, TAG, operations, seed=0)
+    assert all(handle.done for handle in handles.values())
+    assert injector.held_count == 0
+    held = injector.instruments.counter(
+        "chaos.injected[partition-hold]").value
+    assert held > 0
+
+
+def test_injector_attach_is_one_shot():
+    cluster, injector = _chaos_cluster(FaultPlan(name="none"))
+    with pytest.raises(SimulationError):
+        cluster.simulator.attach_injector(FaultInjector(FaultPlan()))
+
+
+# -- campaigns ------------------------------------------------------------------
+
+def test_campaign_within_bound_is_clean():
+    """Acceptance sweep: >= 20 runs across Atomic, AtomicNS and Martin
+    under the full within-budget battery report zero atomicity or
+    wait-freedom violations (the n > 3t guarantee, exercised under
+    every fault kind the plane supports)."""
+    results = sweep(["atomic", "atomic_ns", "martin"], DEFAULT_BATTERY,
+                    seeds=[0])
+    assert len(results) >= 20
+    assert all(result.status == STATUS_OK for result in results), \
+        [(r.spec.protocol, r.spec.plan.name, r.status, r.detail)
+         for r in results if r.status != STATUS_OK]
+    report = campaign_report(results)
+    assert report["unexpected"] == 0
+    assert report["by_status"] == {STATUS_OK: len(results)}
+
+
+def test_boundary_probe_finds_violation_and_reproduces(tmp_path):
+    """The negative control: crashing t+1 servers in an n=3t+1
+    deployment models n=3t, where the paper proves storage impossible —
+    the campaign must detect the wait-freedom violation, shrink the
+    plan to a minimal failing core, and replay it bit-for-bit."""
+    spec = RunSpec(protocol="atomic_ns",
+                   plan=builtin_plan("boundary", 4, 1, seed=0), seed=0)
+    result = execute_run(spec)
+    assert result.status == STATUS_STALLED
+    assert result.expected  # failing beyond the bound is the model
+    shrunk = shrink_plan(spec, result.status)
+    # The minimal plan is exactly the t+1 crashes: every one is needed.
+    assert len(shrunk.spec.plan.crashes) == 2
+    assert not shrunk.spec.plan.rules
+    path = tmp_path / "reproducer.json"
+    save_reproducer(shrunk.result, path)
+    replayed, faithful = replay_reproducer(path)
+    assert faithful
+    assert replayed.status == STATUS_STALLED
+    assert replayed.digest == shrunk.result.digest
+
+
+def test_shrink_removes_irrelevant_components():
+    plan = FaultPlan(
+        name="fat", seed=0, faulty=(3, 4), exceeds_t=True,
+        rules=(FaultRule(kind="drop", party=3, limit=4),
+               FaultRule(kind="duplicate", party=4, limit=4)),
+        crashes=(CrashSpec(server=3, after=0),
+                 CrashSpec(server=4, after=0)))
+    spec = RunSpec(protocol="atomic", plan=plan, seed=1)
+    assert execute_run(spec).status == STATUS_STALLED
+    shrunk = shrink_plan(spec, STATUS_STALLED)
+    # The message faults are noise; only the two crashes matter.
+    assert not shrunk.spec.plan.rules
+    assert len(shrunk.spec.plan.crashes) == 2
+    assert shrunk.removed >= 2
+
+
+def test_shrink_rejects_non_failing_baseline():
+    spec = RunSpec(protocol="atomic_ns",
+                   plan=builtin_plan("drops", 4, 1, seed=0), seed=0)
+    with pytest.raises(ValueError):
+        shrink_plan(spec, STATUS_STALLED)
+
+
+# -- CLI ------------------------------------------------------------------------
+
+def test_cli_chaos_smoke(capsys):
+    """The tier-1 smoke entry point: a small clean campaign exits 0."""
+    from repro.cli import main
+    assert main(["chaos", "--smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "0 unexpected" in out
+
+
+def test_cli_chaos_boundary_replay_round_trip(tmp_path, capsys):
+    from repro.cli import main
+    out_file = tmp_path / "report.json"
+    code = main(["chaos", "--protocols", "atomic_ns", "--plans", "none",
+                 "--boundary", "--seeds", "1",
+                 "--out", str(out_file),
+                 "--reproducer-dir", str(tmp_path)])
+    assert code == 0  # the boundary failure is expected, not a defect
+    report = json.loads(out_file.read_text())
+    assert report["runs"] == 2
+    assert report["unexpected"] == 0
+    reproducer = tmp_path / "chaos_atomic_ns_boundary_s0.json"
+    assert reproducer.exists()
+    capsys.readouterr()
+    assert main(["chaos", "--replay", str(reproducer)]) == 0
+    assert "bit-for-bit" in capsys.readouterr().out

@@ -71,3 +71,54 @@ def test_crashed_server_buffers_but_ignores():
     server = cluster.server(2)
     assert server.crashed
     assert len(server.inbox) > 1  # deliveries continued into the buffer
+
+
+def _run_with_recovery(protocol, server_cls, crash_after, recover_after,
+                       seed=0):
+    config = SystemConfig(n=4, t=1, seed=seed)
+    cluster = build_cluster(
+        config, protocol=protocol, num_clients=2,
+        scheduler=RandomScheduler(seed),
+        server_overrides={
+            2: lambda pid, cfg: server_cls(
+                pid, cfg, crash_after=crash_after,
+                recover_after=recover_after)})
+    operations = random_workload(2, writes=2, reads=2, seed=seed)
+    run_workload(cluster, TAG, operations, seed=seed)
+    HistoryRecorder(cluster, TAG).check()
+    return cluster
+
+
+@pytest.mark.parametrize("protocol,server_cls,recover_after", [
+    ("atomic", FailStopServer, 8),
+    ("atomic_ns", FailStopNSServer, 8),
+    ("martin", FailStopMartinServer, 3),  # replication runs are short
+])
+def test_crash_then_recover_rejoins(protocol, server_cls, recover_after):
+    """A transiently crashed server replays its down-time backlog and
+    rejoins; the run stays atomic and wait-free throughout."""
+    cluster = _run_with_recovery(protocol, server_cls,
+                                 crash_after=5,
+                                 recover_after=recover_after)
+    server = cluster.server(2)
+    assert server.recovered
+    assert not server.crashed
+    # The backlog really was replayed: deliveries counted past both the
+    # crash point and the down window.
+    assert server._delivered >= 5 + recover_after
+
+
+def test_recovery_requires_enough_traffic():
+    """A server whose down window outlasts the run never recovers (the
+    permanent-crash behaviour is the limit case)."""
+    config = SystemConfig(n=4, t=1, seed=0)
+    cluster = build_cluster(
+        config, protocol="atomic_ns", num_clients=2,
+        scheduler=RandomScheduler(0),
+        server_overrides={
+            2: lambda pid, cfg: FailStopNSServer(
+                pid, cfg, crash_after=1, recover_after=10 ** 9)})
+    operations = random_workload(2, writes=2, reads=2, seed=0)
+    run_workload(cluster, TAG, operations, seed=0)
+    server = cluster.server(2)
+    assert server.crashed and not server.recovered

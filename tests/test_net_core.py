@@ -9,6 +9,7 @@ from repro.net.message import Message
 from repro.net.metrics import Metrics
 from repro.net.schedulers import (
     FifoScheduler,
+    PartitionScheduler,
     PriorityScheduler,
     RandomScheduler,
     SlowPartiesScheduler,
@@ -184,3 +185,59 @@ def test_make_scheduler_factory():
         make_scheduler("priority")
     with pytest.raises(ValueError):
         make_scheduler("quantum")
+
+
+def test_make_scheduler_slow_parties():
+    """Regression: the factory used to have no way to build the
+    adversarial scheduler classes, so experiment configs could not
+    express them."""
+    scheduler = make_scheduler("slow-parties", seed=1,
+                               slow_parties={server_id(2)})
+    assert isinstance(scheduler, SlowPartiesScheduler)
+    pending = [_msg(msg_id=i, sender=(i % 3) + 1, recipient=(i % 4) + 3)
+               for i in range(8)]
+    chosen = pending[scheduler.choose(pending)]
+    assert server_id(2) not in (chosen.sender, chosen.recipient)
+    with pytest.raises(ValueError):
+        make_scheduler("slow-parties")
+
+
+def test_make_scheduler_partition():
+    scheduler = make_scheduler("partition", seed=2,
+                               group={server_id(1)}, heal_after=5)
+    assert isinstance(scheduler, PartitionScheduler)
+    assert not scheduler.healed
+    # heal_after is mandatory: a permanent partition would violate
+    # eventual delivery.
+    with pytest.raises(ValueError):
+        make_scheduler("partition", group={server_id(1)})
+    with pytest.raises(ValueError):
+        make_scheduler("partition", heal_after=5)
+
+
+def test_priority_scheduler_standalone_then_tracked_stays_consistent():
+    """Regression: ``note_pop`` used to decrement the pending counters
+    for messages only ever *classified* by a standalone ``choose`` call,
+    driving ``_pending_total`` negative and desyncing the incremental
+    fast path for the rest of the run."""
+    scheduler = PriorityScheduler(lambda m: m.sender == server_id(1),
+                                  seed=0)
+    stray = _msg(msg_id=100, sender=2)
+    # Standalone use: classify without note_enqueue.
+    scheduler.choose([stray])
+    # A simulator-style pop of the same message must not be counted.
+    scheduler.note_pop(stray)
+    assert scheduler._pending_total == 0
+    assert scheduler._pending_preferred == 0
+    # Tracked operation afterwards still agrees with the pending bag, so
+    # the incremental path stays active and in range.
+    pending = _pending(4)
+    for message in pending:
+        scheduler.note_enqueue(message)
+    assert scheduler._pending_total == len(pending)
+    index = scheduler.choose(pending)
+    assert 0 <= index < len(pending)
+    assert pending[index].sender != server_id(1)
+    popped = pending.pop(index)
+    scheduler.note_pop(popped)
+    assert scheduler._pending_total == len(pending)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.common.errors import SimulationError
+from repro.common.errors import LivenessError, SimulationError
 from repro.common.ids import client_id, server_id
 from repro.net.process import Process
 from repro.net.schedulers import FifoScheduler, RandomScheduler
@@ -135,11 +135,21 @@ def test_run_until_predicate():
     assert steps <= 6  # 3 pings + at most 3 pongs
 
 
-def test_run_until_quiescence_without_predicate():
+def test_run_until_quiescence_without_predicate_raises():
+    """Quiescence with the predicate still false is a liveness failure,
+    not a silent success (the step count used to be indistinguishable
+    from a satisfied wait)."""
     simulator, collector = _network()
     collector.start("t")
-    simulator.run_until(lambda: False)
-    assert simulator.pending_count == 0
+    with pytest.raises(LivenessError):
+        simulator.run_until(lambda: False)
+    assert simulator.pending_count == 0  # the network did drain
+
+
+def test_run_until_already_satisfied_predicate():
+    simulator, collector = _network()
+    collector.start("t")
+    assert simulator.run_until(lambda: True) == 0
 
 
 def test_record_deliveries_flag():

@@ -51,8 +51,14 @@ def _make_scheduler(spec: dict):
     raise ValueError(f"unknown scheduler spec {kind!r}")
 
 
-def run_case(spec: dict) -> dict:
-    """Run one seeded workload and return its canonical schedule record."""
+def run_case(spec: dict, prepare=None) -> dict:
+    """Run one seeded workload and return its canonical schedule record.
+
+    ``prepare(cluster)``, when given, runs after the cluster is built and
+    before the workload starts — the chaos determinism tests use it to
+    attach an empty-plan fault injector and prove the interposition hook
+    is byte-identical to no hook at all.
+    """
     config = SystemConfig(n=spec["n"], t=spec["t"], seed=spec["seed"])
     cluster = build_cluster(config, protocol=spec["protocol"],
                             num_clients=spec["clients"],
@@ -60,6 +66,8 @@ def run_case(spec: dict) -> dict:
     # Log every delivery, not just input/output actions: the golden digest
     # must pin the exact delivery order, not merely its observable effects.
     cluster.simulator._record_deliveries = True
+    if prepare is not None:
+        prepare(cluster)
     operations = random_workload(spec["clients"], writes=spec["writes"],
                                  reads=spec["reads"], seed=spec["seed"])
     run_workload(cluster, "reg", operations, seed=spec["seed"])
