@@ -33,7 +33,13 @@ from repro.chaos.campaign import (
 )
 from repro.chaos.injector import FaultInjector
 from repro.chaos.library import BUILTIN_PLANS, DEFAULT_BATTERY, builtin_plan
-from repro.chaos.plan import CrashSpec, FaultPlan, FaultRule, PartitionSpec
+from repro.chaos.plan import (
+    CrashSpec,
+    FaultPlan,
+    FaultRule,
+    PartitionSpec,
+    SchedulerSpec,
+)
 from repro.chaos.shrink import ShrinkResult, shrink_plan
 
 __all__ = [
@@ -49,6 +55,7 @@ __all__ = [
     "STATUS_OK",
     "STATUS_STALLED",
     "STATUS_VIOLATION",
+    "SchedulerSpec",
     "ShrinkResult",
     "build_chaos_cluster",
     "builtin_plan",

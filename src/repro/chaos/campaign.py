@@ -131,18 +131,24 @@ def _crash_overrides(spec: RunSpec):
         overrides[crash.server] = (
             lambda pid, cfg, _crash=crash: server_cls(
                 pid, cfg, crash_after=_crash.after,
-                recover_after=_crash.recover_after))
+                recover_after=_crash.recover_after,
+                trigger=_crash.trigger))
     return overrides
 
 
 def build_chaos_cluster(spec: RunSpec) -> Tuple[Cluster, FaultInjector]:
-    """A cluster wired for one chaos run: seeded random scheduler,
-    fail-stop overrides for planned crashes, fault injector attached."""
+    """A cluster wired for one chaos run: seeded scheduler (the plan's
+    adversarial one when present, random otherwise), fail-stop
+    overrides for planned crashes, fault injector attached."""
     spec.plan.validate(spec.n, spec.t)
     config = SystemConfig(n=spec.n, t=spec.t, seed=spec.seed)
+    if spec.plan.scheduler is not None:
+        scheduler = spec.plan.scheduler.build(spec.seed)
+    else:
+        scheduler = RandomScheduler(spec.seed)
     cluster = build_cluster(config, protocol=spec.protocol,
                             num_clients=spec.clients,
-                            scheduler=RandomScheduler(spec.seed),
+                            scheduler=scheduler,
                             server_overrides=_crash_overrides(spec))
     injector = FaultInjector(spec.plan)
     cluster.simulator.attach_injector(injector)

@@ -23,13 +23,20 @@ from __future__ import annotations
 
 from typing import Tuple
 
-from repro.chaos.plan import CrashSpec, FaultPlan, FaultRule, PartitionSpec
+from repro.chaos.plan import (
+    CrashSpec,
+    FaultPlan,
+    FaultRule,
+    PartitionSpec,
+    SchedulerSpec,
+)
 from repro.common.errors import ConfigurationError
 
 #: Names accepted by :func:`builtin_plan`, in presentation order.
 BUILTIN_PLANS: Tuple[str, ...] = (
     "none", "drops", "duplicates", "corruption", "delays",
-    "partition", "crash", "crash-recover", "mixed", "boundary",
+    "partition", "crash", "crash-recover", "mixed",
+    "slow-server", "sched-partition", "boundary",
 )
 
 #: The battery a default campaign sweeps: everything except the
@@ -73,6 +80,24 @@ def builtin_plan(name: str, n: int, t: int, seed: int = 0) -> FaultPlan:
                    FaultRule(kind="duplicate", party=n, limit=2),
                    FaultRule(kind="delay", party=n, limit=3, delay=15)),
             partition=PartitionSpec(group=(1,), heal_at=50))
+    if name == "slow-server":
+        # Compose an adversarial scheduler with message faults: the
+        # designated party's traffic is starved to last place *and*
+        # some of it is dropped — exercising quorum formation among the
+        # remaining honest servers under worst-case ordering.
+        return FaultPlan(
+            name=name, seed=seed, faulty=faulty,
+            rules=(FaultRule(kind="drop", party=n, limit=2),),
+            scheduler=SchedulerSpec(name="slow-parties",
+                                    slow_servers=faulty))
+    if name == "sched-partition":
+        # Scheduler-level partition: cross-group traffic is starved
+        # (never suppressed) until the heal point, so no Byzantine
+        # budget is spent — pure adversarial asynchrony.
+        return FaultPlan(
+            name=name, seed=seed,
+            scheduler=SchedulerSpec(name="partition", group=(1,),
+                                    heal_after=60))
     if name == "boundary":
         # Fail-stop t+1 servers from delivery zero: only n - t - 1 < n - t
         # honest servers remain, so no quorum can ever form — the n = 3t

@@ -34,6 +34,92 @@ from repro.common.errors import ConfigurationError
 #: Message-level fault kinds a :class:`FaultRule` can inject.
 RULE_KINDS = ("drop", "duplicate", "corrupt", "delay")
 
+#: Adversarial scheduler families a plan can compose with
+#: (see :func:`repro.net.schedulers.make_scheduler`).
+SCHEDULER_NAMES = ("random", "slow-parties", "partition")
+
+#: Fail-stop trigger clocks (see :mod:`repro.faults.failstop`).
+CRASH_TRIGGERS = ("messages", "decisions")
+
+
+@dataclass(frozen=True)
+class SchedulerSpec:
+    """An adversarial scheduler swept alongside the plan's faults.
+
+    Schedulers re-order (never suppress) deliveries, so they need no
+    Byzantine budget: ``slow_servers`` starves the named servers'
+    deliveries to last place, and a ``partition`` scheduler deprioritises
+    cross-``group`` traffic until ``heal_after`` scheduling decisions
+    have passed.  Both preserve eventual delivery, keeping run
+    completeness intact — which is why a scheduler entry is legal even
+    in plans with an empty faulty set.
+    """
+
+    name: str = "random"
+    slow_servers: Tuple[int, ...] = ()
+    group: Tuple[int, ...] = ()
+    heal_after: Optional[int] = None
+
+    def validate(self, n: Optional[int] = None) -> None:
+        """Raise :class:`ConfigurationError` on malformed specs."""
+        if self.name not in SCHEDULER_NAMES:
+            raise ConfigurationError(
+                f"unknown scheduler {self.name!r}; choose from "
+                f"{SCHEDULER_NAMES}")
+        if self.name == "slow-parties" and not self.slow_servers:
+            raise ConfigurationError(
+                "slow-parties scheduler needs at least one slow server")
+        if self.name == "partition":
+            if not self.group:
+                raise ConfigurationError(
+                    "partition scheduler needs a non-empty group")
+            if self.heal_after is None or self.heal_after < 1:
+                raise ConfigurationError(
+                    "partition scheduler must heal: heal_after must be "
+                    "a positive decision count")
+        for index in self.slow_servers + self.group:
+            if index < 1:
+                raise ConfigurationError(
+                    "scheduler server entries must be 1-based indices")
+            if n is not None and index > n:
+                raise ConfigurationError(
+                    f"scheduler server index {index} outside 1..{n}")
+
+    def build(self, seed: int):
+        """Instantiate the scheduler for one run (seeded)."""
+        from repro.common.ids import server_id
+        from repro.net.schedulers import make_scheduler
+        if self.name == "slow-parties":
+            return make_scheduler(
+                "slow-parties", seed=seed,
+                slow_parties={server_id(index)
+                              for index in self.slow_servers})
+        if self.name == "partition":
+            return make_scheduler(
+                "partition", seed=seed,
+                group={server_id(index) for index in self.group},
+                heal_after=self.heal_after)
+        return make_scheduler("random", seed=seed)
+
+    def to_json(self) -> Dict[str, Any]:
+        """The spec as a plain JSON-serializable dictionary."""
+        doc: Dict[str, Any] = {"name": self.name}
+        if self.slow_servers:
+            doc["slow_servers"] = list(self.slow_servers)
+        if self.group:
+            doc["group"] = list(self.group)
+        if self.heal_after is not None:
+            doc["heal_after"] = self.heal_after
+        return doc
+
+    @classmethod
+    def from_json(cls, doc: Dict[str, Any]) -> "SchedulerSpec":
+        """Inverse of :meth:`to_json`."""
+        return cls(name=doc.get("name", "random"),
+                   slow_servers=tuple(doc.get("slow_servers", ())),
+                   group=tuple(doc.get("group", ())),
+                   heal_after=doc.get("heal_after"))
+
 
 @dataclass(frozen=True)
 class FaultRule:
@@ -133,11 +219,18 @@ class CrashSpec:
     then goes silent; with ``recover_after`` set, it comes back up once
     that many further messages have reached it while down, replaying
     the buffered backlog (see :mod:`repro.faults.failstop`).
+
+    ``trigger`` selects the clock both points count: ``"messages"``
+    (the historical default, counting this server's own deliveries) or
+    ``"decisions"`` (the injector's global scheduling-decision counter,
+    which keeps advancing while delay or partition holds starve the
+    server — so crash/recovery windows compose predictably with them).
     """
 
     server: int
     after: int = 0
     recover_after: Optional[int] = None
+    trigger: str = "messages"
 
     def validate(self) -> None:
         """Raise :class:`ConfigurationError` on malformed crash specs."""
@@ -149,19 +242,30 @@ class CrashSpec:
         if self.recover_after is not None and self.recover_after < 1:
             raise ConfigurationError(
                 "recover_after must be positive when given")
+        if self.trigger not in CRASH_TRIGGERS:
+            raise ConfigurationError(
+                f"unknown crash trigger {self.trigger!r}; choose from "
+                f"{CRASH_TRIGGERS}")
 
     def to_json(self) -> Dict[str, Any]:
-        """The crash spec as a plain JSON-serializable dictionary."""
+        """The crash spec as a plain JSON-serializable dictionary.
+
+        The default trigger is omitted so pre-existing reproducer files
+        (and their digests) remain stable.
+        """
         doc: Dict[str, Any] = {"server": self.server, "after": self.after}
         if self.recover_after is not None:
             doc["recover_after"] = self.recover_after
+        if self.trigger != "messages":
+            doc["trigger"] = self.trigger
         return doc
 
     @classmethod
     def from_json(cls, doc: Dict[str, Any]) -> "CrashSpec":
         """Inverse of :meth:`to_json`."""
         return cls(server=doc["server"], after=doc["after"],
-                   recover_after=doc.get("recover_after"))
+                   recover_after=doc.get("recover_after"),
+                   trigger=doc.get("trigger", "messages"))
 
 
 @dataclass(frozen=True)
@@ -182,6 +286,9 @@ class FaultPlan:
     rules: Tuple[FaultRule, ...] = ()
     partition: Optional[PartitionSpec] = None
     crashes: Tuple[CrashSpec, ...] = ()
+    #: Adversarial scheduler composed with the faults (``None`` keeps
+    #: the campaign's default seeded random scheduler).
+    scheduler: Optional[SchedulerSpec] = None
     #: Declared intent to exceed the resilience bound (used by boundary
     #: probes); without it, :meth:`validate` rejects ``|faulty| > t``.
     exceeds_t: bool = False
@@ -195,7 +302,13 @@ class FaultPlan:
     @property
     def empty(self) -> bool:
         """True when the plan injects nothing at all (the control plan:
-        attaching it must leave schedules byte-identical)."""
+        attaching it must leave schedules byte-identical).
+
+        A scheduler entry does not count as injection — it changes how
+        the run is *built*, not what the injector does — but byte
+        identity with uninstrumented runs is only promised for plans
+        without one.
+        """
         return (not self.rules and self.partition is None
                 and not self.crashes)
 
@@ -244,6 +357,8 @@ class FaultPlan:
                 raise ConfigurationError(
                     f"crashing server {crash.server} requires designating "
                     f"it faulty (a crash is a fault)")
+        if self.scheduler is not None:
+            self.scheduler.validate(n)
 
     def to_json(self) -> Dict[str, Any]:
         """The plan as a plain JSON-serializable dictionary."""
@@ -256,6 +371,8 @@ class FaultPlan:
         }
         if self.partition is not None:
             doc["partition"] = self.partition.to_json()
+        if self.scheduler is not None:
+            doc["scheduler"] = self.scheduler.to_json()
         if self.exceeds_t:
             doc["exceeds_t"] = True
         return doc
@@ -264,6 +381,7 @@ class FaultPlan:
     def from_json(cls, doc: Dict[str, Any]) -> "FaultPlan":
         """Inverse of :meth:`to_json` (lossless round-trip)."""
         partition = doc.get("partition")
+        scheduler = doc.get("scheduler")
         return cls(
             name=doc.get("name", "custom"),
             seed=doc.get("seed", 0),
@@ -274,6 +392,8 @@ class FaultPlan:
                        if partition is not None else None),
             crashes=tuple(CrashSpec.from_json(entry)
                           for entry in doc.get("crashes", ())),
+            scheduler=(SchedulerSpec.from_json(scheduler)
+                       if scheduler is not None else None),
             exceeds_t=bool(doc.get("exceeds_t", False)),
         )
 
@@ -292,6 +412,11 @@ class FaultPlan:
     def without_partition(self) -> "FaultPlan":
         """A copy with the partition removed (used by the shrinker)."""
         return replace(self, partition=None)
+
+    def without_scheduler(self) -> "FaultPlan":
+        """A copy with the scheduler entry removed (used by the
+        shrinker)."""
+        return replace(self, scheduler=None)
 
     def with_rule(self, index: int, rule: FaultRule) -> "FaultPlan":
         """A copy with rule ``index`` replaced (used by the shrinker to

@@ -205,6 +205,49 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_kv_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.kv.bench import run_kv_bench
+    from repro.obs.bench import emit_bench
+
+    if args.smoke:
+        shard_counts = [1, 2]
+        overrides = {"sessions": 2, "keys": 8, "ops": 24,
+                     "value_size": 32}
+    else:
+        shard_counts = [int(token) for token
+                        in args.shards.split(",") if token.strip()]
+        overrides = {"sessions": args.sessions, "keys": args.keys,
+                     "ops": args.ops, "value_size": args.value_size}
+    chaos_plan = None if args.no_chaos else args.plan
+    payload = run_kv_bench(
+        shard_counts, n=args.n, t=args.t, protocol=args.protocol,
+        write_ratio=args.write_ratio, distribution=args.distribution,
+        seed=args.seed, chaos_plan=chaos_plan, **overrides)
+    print(f"{'shards':>6} {'plan':<10} {'ops/tick':>9} {'ticks':>7} "
+          f"{'batch':>6} {'retries':>7} {'bp':>4} {'lin':>4}")
+    for row in payload["rows"]:
+        print(f"{row['shards']:>6} {row['plan'] or '-':<10} "
+              f"{row['ops_per_tick']:>9.4f} {row['ticks']:>7} "
+              f"{row['batch_factor']:>6.2f} {row['retries']:>7} "
+              f"{row['backpressure_hits']:>4} "
+              f"{'ok' if row['linearizable'] else 'FAIL':>4}")
+    fault_free = [row for row in payload["rows"] if row["plan"] is None]
+    if len(fault_free) >= 2:
+        first, last = fault_free[0], fault_free[-1]
+        if first["ops_per_tick"] > 0:
+            gain = last["ops_per_tick"] / first["ops_per_tick"]
+            print(f"\nscaling {first['shards']} -> {last['shards']} "
+                  f"shards: {gain:.2f}x ops/tick")
+    if args.out:
+        from pathlib import Path
+        path = emit_bench(args.label, payload,
+                          directory=Path(args.out))
+        print(f"wrote {path}")
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     from repro.analysis.complexity import ComplexityModel
     model = ComplexityModel(n=args.n, t=args.t, k=args.k,
@@ -383,6 +426,42 @@ def build_parser() -> argparse.ArgumentParser:
                        help="baseline BENCH_*.json to compute speedups "
                             "against (embedded in the output)")
     bench.set_defaults(handler=_cmd_bench)
+
+    kv_bench = commands.add_parser(
+        "kv-bench", help="sharded key-value load harness: sweep shard "
+                         "counts under Zipf/uniform workloads, check "
+                         "per-key linearizability, emit BENCH rows")
+    kv_bench.add_argument("--shards", default="1,4,16", metavar="LIST",
+                          help="comma-separated shard counts to sweep "
+                               "(default: 1,4,16)")
+    kv_bench.add_argument("--protocol", default="atomic",
+                          choices=sorted(PROTOCOLS))
+    kv_bench.add_argument("--n", type=int, default=4)
+    kv_bench.add_argument("--t", type=int, default=1)
+    kv_bench.add_argument("--sessions", type=int, default=4)
+    kv_bench.add_argument("--keys", type=int, default=32)
+    kv_bench.add_argument("--ops", type=int, default=96)
+    kv_bench.add_argument("--write-ratio", type=float, default=0.5)
+    kv_bench.add_argument("--distribution", default="zipf",
+                          choices=["zipf", "uniform"])
+    kv_bench.add_argument("--value-size", type=int, default=64)
+    kv_bench.add_argument("--seed", type=int, default=0)
+    kv_bench.add_argument("--plan", default="delays",
+                          help="builtin chaos plan for the extra fault "
+                               "case at the largest shard count "
+                               "(default: delays)")
+    kv_bench.add_argument("--no-chaos", action="store_true",
+                          help="skip the chaos case")
+    kv_bench.add_argument("--smoke", action="store_true",
+                          help="tier-1 smoke: n=4, shards 1,2, small "
+                               "workload")
+    kv_bench.add_argument("--label", default="kv",
+                          help="bench name: output file is "
+                               "BENCH_<label>.json")
+    kv_bench.add_argument("--out", metavar="DIR", default=None,
+                          help="directory for the BENCH_<label>.json "
+                               "file (default: print only)")
+    kv_bench.set_defaults(handler=_cmd_kv_bench)
 
     info = commands.add_parser(
         "info", help="print analytic predictions for a deployment")

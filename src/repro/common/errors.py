@@ -61,5 +61,15 @@ class LivenessError(SimulationError):
     """
 
 
+class BackpressureError(SimulationError):
+    """A key-value session refused a new operation because its queue is full.
+
+    Raised by :class:`repro.kv.session.KvSession` when admission control
+    rejects an enqueue instead of growing the operation queue without
+    bound; callers should drain in-flight operations (drive the simulator)
+    and resubmit.
+    """
+
+
 class AtomicityViolation(ReproError):
     """A recorded history admits no valid atomic (linearizable) total order."""

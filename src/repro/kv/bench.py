@@ -1,0 +1,272 @@
+"""End-to-end load harness for the kv plane (``repro kv-bench``).
+
+One benchmark *case* runs a seeded Zipf/uniform multi-key workload
+against a kv deployment with a given shard count, optionally under a
+builtin chaos plan, and reports:
+
+* **throughput** — completed operations per logical tick.  A tick is
+  one simulator delivery, so ops/tick directly measures how densely the
+  envelope layer batches inner protocol traffic; more shards admit more
+  concurrent operations per session, which packs more inner messages
+  into each envelope.
+* **per-phase latency attribution** — operation spans from
+  ``repro.obs`` (timestamp query, dispersal, reliable broadcast,
+  quorum waits, retrieval), summed per phase across all operations.
+* **per-key linearizability** — every key's completed history must
+  pass :func:`repro.analysis.linearizability.check_atomicity`.
+
+A *bench* sweeps shard counts (and one chaos case) and emits a
+``BENCH_*.json`` payload via :func:`repro.obs.emit_bench`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.linearizability import (
+    KIND_WRITE,
+    HistoryOp,
+    check_atomicity,
+)
+from repro.chaos.library import builtin_plan
+from repro.chaos.injector import FaultInjector
+from repro.chaos.plan import FaultPlan
+from repro.cluster import PROTOCOLS
+from repro.config import SystemConfig
+from repro.kv.cluster import (
+    FailStopKvServer,
+    KvCluster,
+    build_kv_cluster,
+    drive,
+)
+from repro.kv.directory import KvDirectory
+from repro.kv.envelope import KV_TAG
+from repro.kv.session import KvSession
+from repro.net.schedulers import RandomScheduler, Scheduler
+from repro.obs import TraceRecorder, build_spans
+from repro.workloads.kv import kv_workload
+
+#: Prefix distinguishing kv operation spans from other traffic.
+_KV_SPAN_PREFIX = "kv.s"
+
+
+@dataclass
+class KvBenchRow:
+    """One measured kv-bench case (one shard count, one plan)."""
+
+    shards: int
+    protocol: str
+    plan: Optional[str]
+    sessions: int
+    keys: int
+    ops: int
+    completed: int
+    ticks: int
+    ops_per_tick: float
+    envelopes: int
+    inner_messages: int
+    wire_bytes: int
+    batch_factor: float
+    retries: int
+    backpressure_hits: int
+    coalesced: int
+    keys_checked: int
+    linearizable: bool
+    phase_ticks: Dict[str, int] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, Any]:
+        """The row as a plain JSON-serializable dictionary."""
+        return {
+            "shards": self.shards, "protocol": self.protocol,
+            "plan": self.plan, "sessions": self.sessions,
+            "keys": self.keys, "ops": self.ops,
+            "completed": self.completed, "ticks": self.ticks,
+            "ops_per_tick": round(self.ops_per_tick, 6),
+            "envelopes": self.envelopes,
+            "inner_messages": self.inner_messages,
+            "wire_bytes": self.wire_bytes,
+            "batch_factor": round(self.batch_factor, 3),
+            "retries": self.retries,
+            "backpressure_hits": self.backpressure_hits,
+            "coalesced": self.coalesced,
+            "keys_checked": self.keys_checked,
+            "linearizable": self.linearizable,
+            "phase_ticks": {name: self.phase_ticks[name]
+                            for name in sorted(self.phase_ticks)},
+        }
+
+
+def _chaos_overrides(plan: FaultPlan, server_cls) -> Optional[Dict]:
+    if not plan.crashes:
+        return None
+    overrides = {}
+    for crash in plan.crashes:
+        overrides[crash.server] = (
+            lambda pid, directory, _crash=crash: FailStopKvServer(
+                pid, directory, server_cls=server_cls,
+                crash_after=_crash.after,
+                recover_after=_crash.recover_after,
+                trigger=_crash.trigger))
+    return overrides
+
+
+def _scheduler_for(plan: Optional[FaultPlan], seed: int) -> Scheduler:
+    if plan is not None and plan.scheduler is not None:
+        return plan.scheduler.build(seed)
+    return RandomScheduler(seed)
+
+
+def session_history(sessions: Sequence[KvSession]
+                    ) -> Dict[str, List[HistoryOp]]:
+    """Group every completed session handle into per-key histories.
+
+    Handle intervals span submission to observed completion, which
+    contains the inner operation's own interval — so any order the
+    checker admits for these intervals is admissible for the real ones.
+    Coalesced writes appear as their own operations (their values are
+    never read, so they linearize immediately before their superseder).
+    """
+    histories: Dict[str, List[HistoryOp]] = {}
+    counter = 0
+    for session in sessions:
+        for handle in session.handles:
+            if not handle.done:
+                continue
+            counter += 1
+            value = handle.value if handle.kind == KIND_WRITE \
+                else handle.result
+            histories.setdefault(handle.key, []).append(HistoryOp(
+                kind=handle.kind, oid=f"s{session.index}.h{counter}",
+                value=value, invoke=handle.invoke_time,
+                complete=handle.complete_time))
+    return histories
+
+
+def check_kv_histories(sessions: Sequence[KvSession]) -> int:
+    """Check per-key linearizability; returns the number of keys checked.
+
+    Raises :class:`repro.common.errors.AtomicityViolation` on the first
+    key whose history admits no atomic order.
+    """
+    histories = session_history(sessions)
+    for key in sorted(histories):
+        check_atomicity(histories[key], initial_value=b"")
+    return len(histories)
+
+
+def _phase_attribution(recorder: TraceRecorder) -> Dict[str, int]:
+    totals: Dict[str, int] = {}
+    for span in build_spans(recorder):
+        if not span.tag.startswith(_KV_SPAN_PREFIX):
+            continue
+        for child in span.children:
+            totals[child.name] = totals.get(child.name, 0) \
+                + child.duration
+    return totals
+
+
+def _traffic(recorder: TraceRecorder) -> Tuple[int, int, int]:
+    envelopes = 0
+    inner = 0
+    wire_bytes = 0
+    for record in recorder.messages.values():
+        if record.tag == KV_TAG:
+            envelopes += 1
+            wire_bytes += record.wire_bytes
+        else:
+            inner += 1
+    return envelopes, inner, wire_bytes
+
+
+def run_kv_case(num_shards: int, n: int = 4, t: int = 1,
+                protocol: str = "atomic", sessions: int = 4,
+                keys: int = 32, ops: int = 96,
+                write_ratio: float = 0.5, distribution: str = "zipf",
+                zipf_exponent: float = 1.1, seed: int = 0,
+                value_size: int = 64, plan_name: Optional[str] = None,
+                max_queue: int = 32, max_inflight_per_shard: int = 1,
+                max_attempts: int = 4) -> Tuple[KvBenchRow, KvCluster]:
+    """Run one kv-bench case and return ``(row, cluster)``.
+
+    ``plan_name`` selects a builtin chaos plan (validated against
+    ``n``/``t``); ``None`` runs fault-free.
+    """
+    fleet = SystemConfig(n=n, t=t, seed=seed)
+    directory = KvDirectory(fleet, num_shards)
+    plan = None
+    overrides = None
+    if plan_name is not None:
+        plan = builtin_plan(plan_name, n, t, seed=seed)
+        plan.validate(n, t)
+        overrides = _chaos_overrides(plan, PROTOCOLS[protocol][0])
+    cluster = build_kv_cluster(
+        directory, protocol=protocol, num_sessions=sessions,
+        scheduler=_scheduler_for(plan, seed),
+        server_overrides=overrides, max_queue=max_queue,
+        max_inflight_per_shard=max_inflight_per_shard,
+        max_attempts=max_attempts)
+    recorder = TraceRecorder().attach(cluster.simulator)
+    if plan is not None:
+        cluster.simulator.attach_injector(FaultInjector(plan))
+    workload = kv_workload(
+        num_sessions=sessions, num_keys=keys, ops=ops,
+        write_ratio=write_ratio, distribution=distribution,
+        zipf_exponent=zipf_exponent, seed=seed, value_size=value_size)
+    stats = drive(cluster, workload, seed=seed)
+    keys_checked = check_kv_histories(cluster.sessions)
+    coalesced = sum(1 for session in cluster.sessions
+                    for handle in session.handles if handle.coalesced)
+    ticks = cluster.simulator.time
+    envelopes, inner, wire_bytes = _traffic(recorder)
+    row = KvBenchRow(
+        shards=num_shards, protocol=protocol, plan=plan_name,
+        sessions=sessions, keys=keys, ops=ops,
+        completed=stats["completed"], ticks=ticks,
+        ops_per_tick=stats["completed"] / ticks if ticks else 0.0,
+        envelopes=envelopes, inner_messages=inner,
+        wire_bytes=wire_bytes,
+        batch_factor=inner / envelopes if envelopes else 0.0,
+        retries=stats["retries"],
+        backpressure_hits=stats["backpressure_hits"],
+        coalesced=coalesced, keys_checked=keys_checked,
+        linearizable=True,
+        phase_ticks=_phase_attribution(recorder))
+    return row, cluster
+
+
+def run_kv_bench(shard_counts: Sequence[int], n: int = 4, t: int = 1,
+                 protocol: str = "atomic", sessions: int = 4,
+                 keys: int = 32, ops: int = 96,
+                 write_ratio: float = 0.5, distribution: str = "zipf",
+                 seed: int = 0, value_size: int = 64,
+                 chaos_plan: Optional[str] = "delays"
+                 ) -> Dict[str, Any]:
+    """Sweep shard counts (plus one chaos case) and build the payload.
+
+    The chaos case reuses the largest shard count under ``chaos_plan``
+    so one sweep demonstrates both scaling and fault recovery; pass
+    ``chaos_plan=None`` to skip it.
+    """
+    rows: List[KvBenchRow] = []
+    for shards in shard_counts:
+        row, _cluster = run_kv_case(
+            shards, n=n, t=t, protocol=protocol, sessions=sessions,
+            keys=keys, ops=ops, write_ratio=write_ratio,
+            distribution=distribution, seed=seed, value_size=value_size)
+        rows.append(row)
+    if chaos_plan is not None and shard_counts:
+        row, _cluster = run_kv_case(
+            max(shard_counts), n=n, t=t, protocol=protocol,
+            sessions=sessions, keys=keys, ops=ops,
+            write_ratio=write_ratio, distribution=distribution,
+            seed=seed, value_size=value_size, plan_name=chaos_plan)
+        rows.append(row)
+    return {
+        "config": {"n": n, "t": t, "protocol": protocol,
+                   "sessions": sessions, "keys": keys, "ops": ops,
+                   "write_ratio": write_ratio,
+                   "distribution": distribution, "seed": seed,
+                   "value_size": value_size, "chaos_plan": chaos_plan},
+        "rows": [row.to_json() for row in rows],
+    }

@@ -1,0 +1,148 @@
+"""Key-space directory: deterministic key → shard → placement mapping.
+
+The directory is the metadata plane of the key-value layer (following
+the metadata/bulk separation of MDStore): it is pure data, identical at
+every party, and never exchanged over the wire.  A key hashes to one of
+``num_shards`` register shards; each shard is an independent protocol
+instance with its own ``SystemConfig(n, t)`` placed on a rotated window
+of the fleet's servers, so hundreds of registers can share one simulated
+fleet while every shard keeps the paper's ``n > 3t`` resilience bound.
+
+Within a shard, parties use *shard-local* identities: servers are
+``P_1 .. P_shard_n`` in placement order, clients keep their fleet
+identity.  :class:`ShardSpec` holds the bidirectional index mapping.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.ids import TAG_SEP
+from repro.config import SystemConfig
+
+#: Prefix of every per-key register tag (``kv.s<shard>.<key>``).
+KV_TAG_PREFIX = "kv"
+
+
+def validate_key(key: str) -> str:
+    """Check that ``key`` is usable as a register-tag component.
+
+    Keys must be non-empty strings and may not contain the hierarchical
+    tag separator (``|``), which would corrupt subtag parsing in the
+    protocol substrates.
+    """
+    if not isinstance(key, str) or not key:
+        raise ConfigurationError("kv keys must be non-empty strings")
+    if TAG_SEP in key:
+        raise ConfigurationError(
+            f"kv key {key!r} contains the reserved tag separator {TAG_SEP!r}")
+    return key
+
+
+@dataclass(frozen=True, eq=False)
+class ShardSpec:
+    """One register shard: its id, server placement, and protocol config.
+
+    ``placement[j - 1]`` is the fleet index of the shard-local server
+    ``P_j``; ``config`` is the shard's own ``SystemConfig`` (validated
+    ``n > 3t`` on construction).
+    """
+
+    shard_id: int
+    placement: Tuple[int, ...]
+    config: SystemConfig
+    _local_by_fleet: Dict[int, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        for local_index, fleet_index in enumerate(self.placement, start=1):
+            self._local_by_fleet[fleet_index] = local_index
+
+    def fleet_server_index(self, local_index: int) -> int:
+        """Map a shard-local server index (1-based) to its fleet index."""
+        return self.placement[local_index - 1]
+
+    def local_server_index(self, fleet_index: int) -> Optional[int]:
+        """Map a fleet server index to this shard's local index.
+
+        Returns ``None`` when the fleet server does not host this shard.
+        """
+        return self._local_by_fleet.get(fleet_index)
+
+
+class KvDirectory:
+    """Deterministic key → shard map over one server fleet.
+
+    Hash partitioning uses SHA-256 (never the interpreter's ``hash``,
+    which is salted per process and would break replay).  Shard ``s``
+    is placed on the ``shard_n`` fleet servers starting at rotation
+    offset ``s``, so load spreads evenly when ``shard_n < fleet n``.
+
+    Per-shard parameters are validated against the cluster config:
+    a shard cannot recruit more servers than the fleet has, and must
+    tolerate at least the fleet's corruption bound ``t`` (any ``t``
+    fleet-level faults could all land inside one shard's placement).
+    """
+
+    def __init__(self, fleet_config: SystemConfig, num_shards: int,
+                 shard_n: Optional[int] = None,
+                 shard_t: Optional[int] = None) -> None:
+        if num_shards < 1:
+            raise ConfigurationError("num_shards must be >= 1")
+        shard_n = fleet_config.n if shard_n is None else shard_n
+        shard_t = fleet_config.t if shard_t is None else shard_t
+        if shard_n > fleet_config.n:
+            raise ConfigurationError(
+                f"shard_n={shard_n} exceeds the fleet size n={fleet_config.n}")
+        # Deployment-shape validation, not a quorum wait.
+        # lint: disable=quorum-intersection
+        if shard_t < fleet_config.t:
+            raise ConfigurationError(
+                f"shard_t={shard_t} is below the fleet fault bound "
+                f"t={fleet_config.t}: {fleet_config.t} fleet faults could "
+                "all fall inside one shard")
+        self.fleet_config = fleet_config
+        self.num_shards = num_shards
+        self.shard_n = shard_n
+        self.shard_t = shard_t
+        fleet_n = fleet_config.n
+        # The fleet's resolved k only transfers when the shard shares the
+        # fleet's (n, t); shrunken shards re-derive their own default.
+        same_shape = (shard_n == fleet_config.n and shard_t == fleet_config.t)
+        shard_k = fleet_config.k if same_shape else None
+        shards = []
+        for shard_id in range(num_shards):
+            placement = tuple(((shard_id + offset) % fleet_n) + 1
+                              for offset in range(shard_n))
+            config = SystemConfig(
+                n=shard_n, t=shard_t, k=shard_k,
+                commitment=fleet_config.commitment,
+                threshold_backend=fleet_config.threshold_backend,
+                seed=fleet_config.seed + shard_id)
+            shards.append(ShardSpec(shard_id, placement, config))
+        self._shards: Tuple[ShardSpec, ...] = tuple(shards)
+
+    def shard(self, shard_id: int) -> ShardSpec:
+        """Return the :class:`ShardSpec` for ``shard_id``."""
+        if not 0 <= shard_id < self.num_shards:
+            raise ConfigurationError(
+                f"shard_id {shard_id} out of range [0, {self.num_shards})")
+        return self._shards[shard_id]
+
+    def shard_of_key(self, key: str) -> int:
+        """Deterministically map ``key`` to a shard id via SHA-256."""
+        validate_key(key)
+        digest = hashlib.sha256(key.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big") % self.num_shards
+
+    def register_tag(self, key: str) -> str:
+        """The register tag serving ``key`` (``kv.s<shard>.<key>``)."""
+        shard_id = self.shard_of_key(key)
+        return f"{KV_TAG_PREFIX}.s{shard_id}.{key}"
+
+    @property
+    def shards(self) -> Tuple[ShardSpec, ...]:
+        """All shard specs, indexed by shard id."""
+        return self._shards

@@ -1,0 +1,71 @@
+"""Multiplexing wire envelope for the key-value plane.
+
+Inner protocol messages (timestamp queries, disperse blocks, rbc echos,
+…) never travel alone: each host buffers every inner message produced
+during one activation and flushes them as a single fleet-level message
+``(kv, kv-batch, (entries,))`` per destination.  One simulator delivery
+therefore carries many inner protocol steps — the batching lever that
+lets shard count translate into aggregate ops/tick.
+
+:class:`KvEntry` is a registered wire type so envelopes round-trip
+through the canonical encoding like every other payload (chaos
+corruption, wire-size accounting, and reproducer digests all see real
+bytes).  Entries carry their own causal identity (``msg_id``, ``depth``,
+``cause_id``, allocated from the *fleet* simulator at send time) so the
+observability plane records inner sends/deliveries exactly like
+unbatched traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from repro.common.ids import PartyId
+from repro.common.serialization import register_wire_type
+
+#: Fleet-level tag of every kv envelope message.
+KV_TAG = "kv"
+#: Message type of the batched envelope.
+MSG_KV_BATCH = "kv-batch"
+
+
+@register_wire_type
+@dataclass(frozen=True)
+class KvEntry:
+    """One inner protocol message riding inside a kv envelope.
+
+    ``sender``/``recipient`` are *shard-local* identities (see
+    :class:`repro.kv.directory.ShardSpec`); the hosting fleet parties are
+    recovered from the shard placement at unwrap time.  ``msg_id`` is
+    allocated from the fleet simulator when the entry is buffered, so
+    inner message identities are globally unique — protocol ``where``
+    predicates memoize validity by ``msg_id`` and must never see two
+    different messages share one.
+    """
+
+    shard: int
+    tag: str
+    mtype: str
+    sender: PartyId
+    recipient: PartyId
+    payload: Tuple[Any, ...]
+    msg_id: int
+    depth: int
+    cause_id: Optional[int] = None
+
+    def well_formed(self) -> bool:
+        """Structural sanity check applied before unwrapping.
+
+        Envelopes cross the (potentially adversarial) network, so hosts
+        validate field types before reconstructing an inner message.
+        """
+        return (isinstance(self.shard, int)
+                and isinstance(self.tag, str)
+                and isinstance(self.mtype, str)
+                and isinstance(self.sender, PartyId)
+                and isinstance(self.recipient, PartyId)
+                and isinstance(self.payload, tuple)
+                and isinstance(self.msg_id, int)
+                and isinstance(self.depth, int)
+                and (self.cause_id is None or isinstance(self.cause_id, int)))

@@ -1,0 +1,297 @@
+"""Shard multiplexing: hosts, the per-shard bus, and envelope routing.
+
+One fleet party hosts many *inner* protocol processes — one per shard it
+serves.  The inner processes are the unmodified register protocols from
+``repro.core``; they believe they talk to a plain simulator.  What they
+actually talk to is a :class:`ShardBus`: a duck-typed facade that
+
+* allocates real, globally-unique ``msg_id``s for every inner send (the
+  protocols memoize message validity by id),
+* reports the fleet simulator's logical clock and observability hook,
+* presents the *shard-local* server roster, and
+* buffers outgoing inner messages on the host instead of enqueuing them.
+
+The host (:class:`KvServer` / :class:`KvClientHost`) flushes its buffer
+once per activation as one ``kv-batch`` envelope per fleet destination,
+so a single simulator delivery — one logical tick — carries every inner
+message the activation produced.  Unwrapping validates each entry's
+shard-local sender against the envelope's channel-authenticated fleet
+sender before dispatching it to the inner process.
+
+Byzantine *hosts* are out of scope for this layer (chaos plans exercise
+crashes, drops, delays, and partitions); a corrupted host could forge
+inner ids, which the validity memos in the inner protocols assume away.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple, Type
+
+from repro.common.ids import PartyId, server_id
+from repro.core.atomic import AtomicClient, AtomicServer
+from repro.core.register import RegisterClientBase
+from repro.kv.directory import KvDirectory, ShardSpec
+from repro.kv.envelope import KV_TAG, MSG_KV_BATCH, KvEntry
+from repro.net.message import Message
+from repro.net.process import Process
+
+
+class ShardBus:
+    """Duck-typed simulator facade binding one inner process to a host.
+
+    Implements exactly the surface :class:`repro.net.process.Process`
+    and the register protocols consume: ``enqueue``, ``server_pids``,
+    ``time``, ``obs``, ``record_input``/``record_output``.
+    """
+
+    __slots__ = ("host", "spec", "inner", "_server_pids")
+
+    def __init__(self, host: "_KvMuxProcess", spec: ShardSpec) -> None:
+        self.host = host
+        self.spec = spec
+        self.inner: Optional[Process] = None
+        self._server_pids = [server_id(local)
+                             for local in range(1, spec.config.n + 1)]
+
+    def attach(self, inner: Process) -> Process:
+        """Bind ``inner`` to this bus and return it."""
+        self.inner = inner
+        inner.bind(self)
+        return inner
+
+    # -- simulator surface consumed by inner protocols ---------------------
+
+    @property
+    def time(self) -> int:
+        """The fleet simulator's logical clock."""
+        return self.host._require_simulator().time
+
+    @property
+    def obs(self):
+        """The fleet simulator's observability hook (or ``None``)."""
+        simulator = self.host.simulator
+        return None if simulator is None else simulator.obs
+
+    @property
+    def server_pids(self) -> List[PartyId]:
+        """The shard-local server roster ``P_1 .. P_shard_n``."""
+        return list(self._server_pids)
+
+    def fleet_pid(self, local_pid: PartyId) -> PartyId:
+        """Map a shard-local identity to the hosting fleet party."""
+        if local_pid.is_server:
+            return server_id(self.spec.fleet_server_index(local_pid.index))
+        return local_pid
+
+    def enqueue(self, sender: PartyId, recipient: PartyId, tag: str,
+                mtype: str, payload: Tuple[Any, ...],
+                wire_size: Optional[int] = None) -> None:
+        """Buffer an inner send on the host for the next envelope flush.
+
+        The entry gets a fresh ``msg_id`` from the fleet simulator and
+        the sending inner process's causal stamps, and is announced to
+        the tracer immediately — mirroring ``Simulator.enqueue`` so
+        traces of batched and unbatched runs have the same shape.
+        """
+        host = self.host
+        simulator = host._require_simulator()
+        inner = self.inner
+        depth = inner.activation_depth + 1
+        cause_id = inner.activation_msg_id
+        msg_id = simulator._fresh_msg_id()
+        payload = tuple(payload)
+        entry = KvEntry(shard=self.spec.shard_id, tag=tag, mtype=mtype,
+                        sender=sender, recipient=recipient, payload=payload,
+                        msg_id=msg_id, depth=depth, cause_id=cause_id)
+        host._kv_buffer(self.fleet_pid(recipient), entry)
+        observer = simulator.obs
+        if observer is not None:
+            observer.on_send(
+                Message(tag=tag, mtype=mtype, sender=sender,
+                        recipient=recipient, payload=payload, msg_id=msg_id,
+                        depth=depth, cause_id=cause_id),
+                simulator.time, pending=simulator.pending_count)
+
+    def record_output(self, party: PartyId, tag: str, action: str,
+                      payload: Tuple[Any, ...]) -> None:
+        """Forward an inner output action to the fleet event log."""
+        host = self.host
+        host._require_simulator().record_output(host.pid, tag, action,
+                                                payload)
+
+    def record_input(self, party: PartyId, tag: str, action: str,
+                     payload: Tuple[Any, ...]) -> None:
+        """Forward an inner input action to the fleet event log."""
+        host = self.host
+        host._require_simulator().record_input(host.pid, tag, action,
+                                               payload)
+
+
+class _KvMuxProcess(Process):
+    """Base for fleet parties that host per-shard inner processes.
+
+    Subclasses implement :meth:`_kv_inner_for` to resolve (and lazily
+    instantiate) the inner process an entry addresses.
+    """
+
+    def __init__(self, pid: PartyId, directory: KvDirectory) -> None:
+        super().__init__(pid)
+        self.directory = directory
+        self._kv_outbound: Dict[PartyId, List[KvEntry]] = {}
+        self.on(MSG_KV_BATCH, self._on_kv_batch)
+
+    # -- outbound: buffer + flush ------------------------------------------
+
+    def _kv_buffer(self, fleet_recipient: PartyId, entry: KvEntry) -> None:
+        self._kv_outbound.setdefault(fleet_recipient, []).append(entry)
+
+    def kv_flush(self) -> None:
+        """Send every buffered inner message, one envelope per destination.
+
+        Envelope causal stamps come from this host's current activation
+        (zero outside one), exactly like any direct ``Process.send``.
+        """
+        if not self._kv_outbound:
+            return
+        outbound = self._kv_outbound
+        self._kv_outbound = {}
+        for recipient, entries in outbound.items():
+            self.send(recipient, KV_TAG, MSG_KV_BATCH, tuple(entries))
+
+    def receive(self, message: Message) -> None:
+        """Deliver, then flush inner sends within the same activation.
+
+        ``Process.receive`` resets the activation stamps in a
+        ``finally``; the flush needs them back so envelope depth chains
+        stay causal, hence the restore-around-flush.
+        """
+        super().receive(message)
+        if self._kv_outbound:
+            self.activation_depth = message.depth
+            self.activation_msg_id = message.msg_id
+            try:
+                self.kv_flush()
+            finally:
+                self.activation_depth = 0
+                self.activation_msg_id = None
+
+    # -- inbound: unwrap + dispatch ----------------------------------------
+
+    def _on_kv_batch(self, message: Message) -> None:
+        payload = message.payload
+        if len(payload) != 1 or not isinstance(payload[0], tuple):
+            return
+        for entry in payload[0]:
+            if isinstance(entry, KvEntry) and entry.well_formed():
+                self._deliver_entry(message.sender, entry)
+
+    def _deliver_entry(self, fleet_sender: PartyId, entry: KvEntry) -> None:
+        resolved = self._kv_inner_for(entry)
+        if resolved is None:
+            return
+        inner, bus = resolved
+        if entry.recipient != inner.pid:
+            return  # misrouted: not the shard-local identity hosted here
+        if bus.fleet_pid(entry.sender) != fleet_sender:
+            return  # shard-local sender does not match the channel sender
+        inner_message = Message(
+            tag=entry.tag, mtype=entry.mtype, sender=entry.sender,
+            recipient=entry.recipient, payload=entry.payload,
+            msg_id=entry.msg_id, depth=entry.depth, cause_id=entry.cause_id)
+        simulator = self._require_simulator()
+        observer = simulator.obs
+        if observer is not None:
+            observer.on_deliver(inner_message, simulator.time,
+                                inbox_depth=len(inner.inbox),
+                                pending=simulator.pending_count)
+        inner.receive(inner_message)
+
+    def _kv_inner_for(
+            self, entry: KvEntry) -> Optional[Tuple[Process, ShardBus]]:
+        """Resolve the inner (process, bus) an entry addresses."""
+        raise NotImplementedError
+
+
+class KvServer(_KvMuxProcess):
+    """A fleet server hosting lazily-created per-shard register servers.
+
+    Shard state materialises on first contact: a fleet of 4 servers can
+    advertise hundreds of shards while only paying for the ones traffic
+    actually reaches.
+    """
+
+    def __init__(self, pid: PartyId, directory: KvDirectory,
+                 server_cls: Type[AtomicServer] = AtomicServer,
+                 initial_value: bytes = b"") -> None:
+        super().__init__(pid, directory)
+        self._server_cls = server_cls
+        self._initial_value = initial_value
+        self._inner_servers: Dict[int, Tuple[Process, ShardBus]] = {}
+
+    def inner_server(self, shard_id: int) -> Optional[Process]:
+        """The inner server for ``shard_id`` if it has materialised."""
+        resolved = self._inner_servers.get(shard_id)
+        return None if resolved is None else resolved[0]
+
+    @property
+    def active_shards(self) -> List[int]:
+        """Shard ids this host has materialised state for."""
+        return list(self._inner_servers)
+
+    def _kv_inner_for(
+            self, entry: KvEntry) -> Optional[Tuple[Process, ShardBus]]:
+        shard_id = entry.shard
+        if not 0 <= shard_id < self.directory.num_shards:
+            return None
+        resolved = self._inner_servers.get(shard_id)
+        if resolved is None:
+            spec = self.directory.shard(shard_id)
+            local = spec.local_server_index(self.pid.index)
+            if local is None:
+                return None  # this fleet server does not serve the shard
+            bus = ShardBus(self, spec)
+            inner = self._server_cls(server_id(local), spec.config,
+                                     initial_value=self._initial_value)
+            bus.attach(inner)
+            resolved = (inner, bus)
+            self._inner_servers[shard_id] = resolved
+        return resolved
+
+    def storage_bytes(self) -> int:
+        """Total stored bytes across all materialised shards."""
+        total = 0
+        for inner, _bus in self._inner_servers.values():
+            total += inner.storage_bytes()
+        return total
+
+
+class KvClientHost(_KvMuxProcess):
+    """A fleet client hosting one inner protocol client per shard.
+
+    Inner clients keep the fleet client's identity (client ids are
+    shard-global), so acks and read values route straight back.
+    """
+
+    def __init__(self, pid: PartyId, directory: KvDirectory,
+                 client_cls: Type[AtomicClient] = AtomicClient) -> None:
+        super().__init__(pid, directory)
+        self._client_cls = client_cls
+        self._inner_clients: Dict[int, Tuple[RegisterClientBase,
+                                             ShardBus]] = {}
+
+    def inner_client(self, shard_id: int) -> RegisterClientBase:
+        """The (lazily created) inner client for ``shard_id``."""
+        resolved = self._inner_clients.get(shard_id)
+        if resolved is None:
+            spec = self.directory.shard(shard_id)
+            bus = ShardBus(self, spec)
+            inner = self._client_cls(self.pid, spec.config)
+            bus.attach(inner)
+            resolved = (inner, bus)
+            self._inner_clients[shard_id] = resolved
+        return resolved[0]
+
+    def _kv_inner_for(
+            self, entry: KvEntry) -> Optional[Tuple[Process, ShardBus]]:
+        # Replies can only address shards this client has invoked on.
+        return self._inner_clients.get(entry.shard)

@@ -1,0 +1,295 @@
+"""Client sessions: operation queues, coalescing, admission, retry.
+
+A :class:`KvSession` is the application-facing handle of the kv plane.
+Operations are *submitted* (queued) instantly and *admitted* (invoked on
+the shard's inner protocol client) by :meth:`KvSession.pump`, subject to
+a per-shard in-flight bound.  The gap between the two is where the
+plane's scaling behaviour lives:
+
+* **Backpressure** — the queue is bounded; a full queue raises
+  :class:`repro.common.errors.BackpressureError` instead of growing
+  without bound, so load generators feel the service's actual capacity.
+* **Coalescing** — while a write to key ``K`` is still queued, further
+  writes to ``K`` fold into it (last value wins) without consuming queue
+  slots.  Every folded submission gets its own handle and completes with
+  the batch; its value simply never hits the wire.  An intervening
+  operation on ``K`` ends the window.  This is sound for per-key
+  linearizability: a superseded value is a write that linearizes
+  immediately before the one that replaced it, and no read can return
+  it.
+* **Retry** — when the network quiesces with operations still pending
+  (chaos drops, crash windows), :meth:`retry_pending` re-invokes each
+  stalled operation under a fresh operation id with the same value.
+  Handles complete when *any* attempt completes; the per-key history
+  still contains exactly one operation per handle.
+
+Session operation ids embed the session index (``c<i>.o<seq>`` plus
+``.a<k>`` per retry attempt) so server-side per-``oid`` listener state
+never collides across sessions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from repro.analysis.linearizability import KIND_READ, KIND_WRITE
+from repro.common.errors import BackpressureError
+from repro.core.register import OperationHandle
+from repro.kv.directory import KvDirectory
+from repro.kv.mux import KvClientHost
+
+
+@dataclass
+class KvOpHandle:
+    """Caller-visible handle for one submitted kv operation.
+
+    ``invoke_time``/``complete_time`` bracket the operation's full
+    session lifetime (submission to observed completion), which safely
+    contains the inner protocol operation's own interval — the
+    linearizability checker only ever *widens* real-time constraints
+    this way, never invents them.
+    """
+
+    kind: str
+    key: str
+    shard: int
+    session: int
+    value: Optional[bytes] = None
+    invoke_time: int = 0
+    complete_time: Optional[int] = None
+    result: Optional[bytes] = None
+    attempts: int = 0
+    coalesced: bool = False
+
+    @property
+    def done(self) -> bool:
+        """True once the operation has completed."""
+        return self.complete_time is not None
+
+
+@dataclass
+class _QueuedOp:
+    """One queue slot: an operation awaiting admission."""
+
+    kind: str
+    key: str
+    shard: int
+    value: Optional[bytes]
+    handles: List[KvOpHandle]
+
+
+@dataclass
+class _InFlight:
+    """One admitted operation and its (possibly retried) attempts."""
+
+    op: _QueuedOp
+    oid: str
+    tag: str
+    attempts: List[OperationHandle] = field(default_factory=list)
+
+
+class KvSession:
+    """A client session multiplexing operations across shards.
+
+    Drive pattern: submit with :meth:`put`/:meth:`get`, then alternate
+    :meth:`pump` with simulator steps until :attr:`idle`; call
+    :meth:`retry_pending` when the network quiesces with operations
+    still outstanding.  :func:`repro.kv.cluster.drive` packages the
+    loop.
+    """
+
+    def __init__(self, host: KvClientHost, directory: KvDirectory,
+                 index: int, max_queue: int = 32,
+                 max_inflight_per_shard: int = 1,
+                 max_attempts: int = 4) -> None:
+        self.host = host
+        self.directory = directory
+        self.index = index
+        self.max_queue = max_queue
+        self.max_inflight_per_shard = max_inflight_per_shard
+        self.max_attempts = max_attempts
+        #: every handle ever issued, in submission order (history source).
+        self.handles: List[KvOpHandle] = []
+        self._queue: Deque[_QueuedOp] = deque()
+        self._inflight: Dict[int, List[_InFlight]] = {}
+        self._coalescible: Dict[str, _QueuedOp] = {}
+        self._seq = 0
+
+    # -- submission --------------------------------------------------------
+
+    def put(self, key: str, value: bytes) -> KvOpHandle:
+        """Queue a write of ``value`` to ``key``.
+
+        Coalesces into a still-queued write to the same key when one
+        exists (never consuming a queue slot); otherwise takes a slot,
+        raising :class:`BackpressureError` when the queue is full.
+        """
+        shard = self.directory.shard_of_key(key)
+        handle = KvOpHandle(kind=KIND_WRITE, key=key, shard=shard,
+                            session=self.index, value=value,
+                            invoke_time=self._now())
+        anchor = self._coalescible.get(key)
+        if anchor is not None:
+            anchor.handles[-1].coalesced = True
+            anchor.value = value
+            anchor.handles.append(handle)
+            self.handles.append(handle)
+            return handle
+        self._admission_check()
+        op = _QueuedOp(kind=KIND_WRITE, key=key, shard=shard, value=value,
+                       handles=[handle])
+        self._queue.append(op)
+        self._coalescible[key] = op
+        self.handles.append(handle)
+        return handle
+
+    def get(self, key: str) -> KvOpHandle:
+        """Queue a read of ``key`` (ends any coalescing window on it)."""
+        shard = self.directory.shard_of_key(key)
+        self._admission_check()
+        handle = KvOpHandle(kind=KIND_READ, key=key, shard=shard,
+                            session=self.index, invoke_time=self._now())
+        op = _QueuedOp(kind=KIND_READ, key=key, shard=shard, value=None,
+                       handles=[handle])
+        self._queue.append(op)
+        self._coalescible.pop(key, None)
+        self.handles.append(handle)
+        return handle
+
+    def _admission_check(self) -> None:
+        if len(self._queue) >= self.max_queue:
+            raise BackpressureError(
+                f"session {self.index}: queue full "
+                f"({self.max_queue} operations awaiting admission)")
+
+    def _now(self) -> int:
+        return self.host._require_simulator().time
+
+    # -- progress ----------------------------------------------------------
+
+    def pump(self) -> int:
+        """Complete finished operations, admit queued ones; flush sends.
+
+        Returns the number of state changes (completions + admissions) —
+        the drive loop's progress signal.
+        """
+        changed = self._reap()
+        changed += self._admit()
+        if changed:
+            self.host.kv_flush()
+        return changed
+
+    def _reap(self) -> int:
+        completed = 0
+        now = self._now()
+        for shard in list(self._inflight):
+            remaining = []
+            for entry in self._inflight[shard]:
+                winner = None
+                for attempt in entry.attempts:
+                    if attempt.done:
+                        winner = attempt
+                        break
+                if winner is None:
+                    remaining.append(entry)
+                    continue
+                for handle in entry.op.handles:
+                    handle.complete_time = now
+                    handle.attempts = len(entry.attempts)
+                    if handle.kind == KIND_READ:
+                        handle.result = winner.result
+                completed += 1
+            if remaining:
+                self._inflight[shard] = remaining
+            else:
+                del self._inflight[shard]
+        return completed
+
+    def _admit(self) -> int:
+        # Generation admission: a new batch is admitted only once the
+        # previous one has fully completed.  Ops admitted together move
+        # through their protocol rounds in lock-step, so their messages
+        # share wire envelopes round after round — in the logical-tick
+        # simulator (one delivery = one tick) this batch density, not
+        # concurrency itself, is what converts shard count into
+        # throughput.  Admitting into a half-done generation would
+        # stagger the convoy and dissolve the batches.
+        if not self._queue or self._inflight:
+            return 0
+        admitted = 0
+        kept: Deque[_QueuedOp] = deque()
+        while self._queue:
+            op = self._queue.popleft()
+            if len(self._inflight.get(op.shard, ())) \
+                    < self.max_inflight_per_shard:
+                self._invoke(op)
+                admitted += 1
+            else:
+                kept.append(op)
+        self._queue = kept
+        return admitted
+
+    def _invoke(self, op: _QueuedOp) -> None:
+        client = self.host.inner_client(op.shard)
+        self._seq += 1
+        oid = f"c{self.index}.o{self._seq}"
+        tag = self.directory.register_tag(op.key)
+        if op.kind == KIND_WRITE:
+            attempt = client.invoke_write(tag, oid, op.value)
+        else:
+            attempt = client.invoke_read(tag, oid)
+        entry = _InFlight(op=op, oid=oid, tag=tag, attempts=[attempt])
+        self._inflight.setdefault(op.shard, []).append(entry)
+        if self._coalescible.get(op.key) is op:
+            del self._coalescible[op.key]  # in flight: window closed
+
+    def retry_pending(self) -> int:
+        """Re-invoke every stalled operation with remaining attempts.
+
+        Called when the network has quiesced with operations pending
+        (e.g. a chaos plan dropped part of a write round).  Returns the
+        number of re-invocations; zero means the retry budget is spent.
+        """
+        retried = 0
+        for shard, entries in self._inflight.items():
+            client = None
+            for entry in entries:
+                if any(attempt.done for attempt in entry.attempts):
+                    continue
+                if len(entry.attempts) >= self.max_attempts:
+                    continue
+                if client is None:
+                    client = self.host.inner_client(shard)
+                oid = f"{entry.oid}.a{len(entry.attempts)}"
+                if entry.op.kind == KIND_WRITE:
+                    attempt = client.invoke_write(entry.tag, oid,
+                                                  entry.op.value)
+                else:
+                    attempt = client.invoke_read(entry.tag, oid)
+                entry.attempts.append(attempt)
+                retried += 1
+        if retried:
+            self.host.kv_flush()
+        return retried
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def idle(self) -> bool:
+        """True when nothing is queued or in flight."""
+        return not self._queue and not self._inflight
+
+    @property
+    def queued(self) -> int:
+        """Operations awaiting admission."""
+        return len(self._queue)
+
+    @property
+    def inflight(self) -> int:
+        """Operations admitted but not yet completed."""
+        total = 0
+        for entries in self._inflight.values():
+            total += len(entries)
+        return total

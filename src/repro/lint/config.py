@@ -31,6 +31,9 @@ PROTOCOL_PREFIXES: Tuple[str, ...] = (
     # bit-for-bit replay, so it is held to the same determinism and
     # handler-completeness bar as the protocols it perturbs.
     "repro.chaos",
+    # The kv plane multiplexes protocol instances over the wire and
+    # must keep shard maps, batching, and retries deterministic.
+    "repro.kv",
 )
 
 #: Extra modules held to the determinism bar beyond the protocol core:

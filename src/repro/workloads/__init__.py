@@ -6,5 +6,14 @@ from repro.workloads.generator import (
     random_workload,
     run_workload,
 )
+from repro.workloads.kv import KvOp, key_names, kv_workload
 
-__all__ = ["WorkloadOp", "make_values", "random_workload", "run_workload"]
+__all__ = [
+    "KvOp",
+    "WorkloadOp",
+    "key_names",
+    "kv_workload",
+    "make_values",
+    "random_workload",
+    "run_workload",
+]

@@ -80,3 +80,38 @@ def test_checked_in_benchmark_pair_meets_acceptance_gates():
               for row in joined}
     assert by_key[("macro.atomic_rw", 16)] >= 3.0
     assert by_key[("micro.decode_repeated", 16)] >= 5.0
+
+
+def test_cli_kv_bench_smoke_writes_json(tmp_path):
+    """``repro kv-bench --smoke`` must run the sharded load harness end
+    to end (n=4, shards 1 and 2, plus one chaos case) and write a
+    well-formed ``BENCH_*.json`` document."""
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "kv-bench", "--smoke",
+         "--label", "kv_smoke", "--out", str(tmp_path)],
+        capture_output=True, text=True, timeout=600, cwd=REPO_ROOT,
+        env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")})
+    assert result.returncode == 0, result.stderr
+    written = list(tmp_path.glob("BENCH_*kv_smoke*.json"))
+    assert written, (result.stdout, result.stderr)
+    rows = json.loads(written[0].read_text())["data"]["rows"]
+    fault_free = [row for row in rows if row["plan"] is None]
+    assert [row["shards"] for row in fault_free] == [1, 2]
+    assert all(row["linearizable"] for row in rows)
+    assert any(row["plan"] is not None for row in rows)
+    assert fault_free[1]["ops_per_tick"] > fault_free[0]["ops_per_tick"]
+
+
+def test_checked_in_kv_baseline_shows_shard_scaling():
+    """The committed kv baseline documents the PR's scaling claim:
+    strictly increasing ops/tick over shards 1, 4, 16."""
+    document = json.loads(
+        (REPO_ROOT / "benchmarks" / "BENCH_kv_baseline.json").read_text())
+    rows = document["data"]["rows"]
+    fault_free = [row for row in rows if row["plan"] is None]
+    assert [row["shards"] for row in fault_free] == [1, 4, 16]
+    rates = [row["ops_per_tick"] for row in fault_free]
+    assert rates[0] < rates[1] < rates[2]
+    assert all(row["linearizable"] for row in rows)
+    chaos_rows = [row for row in rows if row["plan"] is not None]
+    assert chaos_rows and chaos_rows[0]["plan"] == "delays"

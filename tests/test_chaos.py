@@ -94,6 +94,55 @@ def test_plan_validation_rejects_crash_of_undesignated_server():
         plan.validate(n=4, t=1)
 
 
+# -- scheduler composition ------------------------------------------------------
+
+def test_scheduler_spec_round_trips_and_builds():
+    from repro.chaos import SchedulerSpec
+    from repro.net.schedulers import (
+        PartitionScheduler,
+        SlowPartiesScheduler,
+    )
+    expected = {"slow-parties": SlowPartiesScheduler,
+                "partition": PartitionScheduler}
+    for spec in (SchedulerSpec(name="slow-parties", slow_servers=(4,)),
+                 SchedulerSpec(name="partition", group=(1,),
+                               heal_after=60)):
+        plan = FaultPlan(name="sched", scheduler=spec)
+        assert FaultPlan.from_json(plan.to_json()) == plan
+        assert isinstance(spec.build(seed=3), expected[spec.name])
+
+
+def test_scheduler_spec_validation():
+    from repro.chaos import SchedulerSpec
+    with pytest.raises(ConfigurationError):
+        SchedulerSpec(name="slow-parties").validate()  # no slow servers
+    with pytest.raises(ConfigurationError):
+        SchedulerSpec(name="partition", group=(1,)).validate()  # no heal
+    with pytest.raises(ConfigurationError):
+        SchedulerSpec(name="lifo").validate()
+    with pytest.raises(ConfigurationError):
+        FaultPlan(scheduler=SchedulerSpec(
+            name="slow-parties", slow_servers=(9,))).validate(4, 1)
+
+
+def test_plans_compose_adversarial_scheduler_with_message_faults():
+    """The ``slow-server`` plan starves party n *and* drops some of its
+    traffic; within the bound the run must still be clean."""
+    plan = builtin_plan("slow-server", 4, 1, seed=0)
+    assert plan.scheduler is not None and plan.rules
+    result = execute_run(RunSpec(protocol="atomic_ns", plan=plan))
+    assert result.status == STATUS_OK
+    assert result.faults.get("chaos.injected[drop]", 0) > 0
+
+
+def test_scheduler_only_plan_counts_as_empty_injection():
+    plan = builtin_plan("sched-partition", 4, 1, seed=0)
+    assert plan.empty  # starving is not a Byzantine budget spend
+    result = execute_run(RunSpec(protocol="atomic", plan=plan))
+    assert result.status == STATUS_OK
+    assert sum(result.faults.values()) == 0
+
+
 # -- schedule transparency ------------------------------------------------------
 
 def test_empty_plan_is_byte_identical_to_no_injector():
@@ -266,6 +315,52 @@ def test_shrink_removes_irrelevant_components():
     assert not shrunk.spec.plan.rules
     assert len(shrunk.spec.plan.crashes) == 2
     assert shrunk.removed >= 2
+
+
+def test_shrink_chunked_removal_beats_one_at_a_time():
+    """ddmin removes the whole irrelevant rule block in one candidate
+    run: the fat plan's two message rules vanish together, so total
+    attempts stay below the one-at-a-time cost (1 baseline + 1 chunk
+    + the failed single-crash reductions + workload shrinks)."""
+    plan = FaultPlan(
+        name="fat", seed=0, faulty=(3, 4), exceeds_t=True,
+        rules=(FaultRule(kind="drop", party=3, limit=4),
+               FaultRule(kind="duplicate", party=4, limit=4)),
+        crashes=(CrashSpec(server=3, after=0),
+                 CrashSpec(server=4, after=0)))
+    spec = RunSpec(protocol="atomic", plan=plan, seed=1)
+    shrunk = shrink_plan(spec, STATUS_STALLED)
+    assert not shrunk.spec.plan.rules
+    assert len(shrunk.spec.plan.crashes) == 2
+    assert shrunk.removed == 2
+
+
+def test_shrink_drops_irrelevant_scheduler_component():
+    plan = FaultPlan(
+        name="sched-noise", seed=0, faulty=(3, 4), exceeds_t=True,
+        crashes=(CrashSpec(server=3, after=0),
+                 CrashSpec(server=4, after=0)),
+        scheduler=builtin_plan("slow-server", 4, 1).scheduler)
+    spec = RunSpec(protocol="atomic", plan=plan, seed=1)
+    shrunk = shrink_plan(spec, STATUS_STALLED)
+    # The crashes alone stall the run; the scheduler entry is noise.
+    assert shrunk.spec.plan.scheduler is None
+    assert len(shrunk.spec.plan.crashes) == 2
+
+
+def test_shrink_reduces_the_workload_cross_field():
+    """Cross-field shrinking minimizes the RunSpec itself: a boundary
+    stall needs only one client and (nearly) no operations."""
+    spec = RunSpec(protocol="atomic",
+                   plan=builtin_plan("boundary", 4, 1, seed=0),
+                   seed=0, clients=4, writes=8, reads=8)
+    shrunk = shrink_plan(spec, STATUS_STALLED)
+    assert shrunk.spec.clients == 1
+    assert shrunk.spec.writes + shrunk.spec.reads \
+        < spec.writes + spec.reads
+    assert shrunk.spec.writes + shrunk.spec.reads >= 1
+    # The minimized spec still reproduces and still replays.
+    assert execute_run(shrunk.spec).digest == shrunk.result.digest
 
 
 def test_shrink_rejects_non_failing_baseline():

@@ -122,3 +122,66 @@ def test_recovery_requires_enough_traffic():
     run_workload(cluster, TAG, operations, seed=0)
     server = cluster.server(2)
     assert server.crashed and not server.recovered
+
+
+# -- trigger clocks -----------------------------------------------------------
+
+def test_unknown_trigger_is_rejected():
+    from repro.common.errors import ConfigurationError
+    from repro.common.ids import server_id
+    with pytest.raises(ConfigurationError):
+        FailStopServer(server_id(2), SystemConfig(n=4, t=1),
+                       crash_after=1, trigger="wallclock")
+
+
+def test_decision_trigger_crashes_on_the_global_clock():
+    """With ``trigger="decisions"`` the crash point reads the global
+    scheduling clock, not the server's own delivery count — the server
+    goes down at the appointed time even if it was starved of traffic,
+    and liveness still holds."""
+    config = SystemConfig(n=4, t=1, seed=0)
+    cluster = build_cluster(
+        config, protocol="atomic", num_clients=2,
+        scheduler=RandomScheduler(0),
+        server_overrides={
+            2: lambda pid, cfg: FailStopServer(
+                pid, cfg, crash_after=20, trigger="decisions")})
+    operations = random_workload(2, writes=2, reads=2, seed=0)
+    run_workload(cluster, TAG, operations, seed=0)
+    server = cluster.server(2)
+    assert server.crashed
+    # Decision clock ran ahead of the delivery count: the server
+    # crashed having delivered fewer messages than the crash point.
+    assert server._delivered < 20
+    honest = [s.pid for index, s in enumerate(cluster.servers, start=1)
+              if index != 2]
+    HistoryRecorder(cluster, TAG, honest_servers=honest).check()
+
+
+def test_decision_trigger_recovery_window_is_global_too():
+    config = SystemConfig(n=4, t=1, seed=1)
+    cluster = build_cluster(
+        config, protocol="atomic_ns", num_clients=2,
+        scheduler=RandomScheduler(1),
+        server_overrides={
+            2: lambda pid, cfg: FailStopNSServer(
+                pid, cfg, crash_after=5, recover_after=30,
+                trigger="decisions")})
+    operations = random_workload(2, writes=2, reads=2, seed=1)
+    run_workload(cluster, TAG, operations, seed=1)
+    server = cluster.server(2)
+    assert server.recovered and not server.crashed
+    HistoryRecorder(cluster, TAG).check()
+
+
+def test_decision_trigger_crash_spec_round_trips_in_campaigns():
+    from repro.chaos import CrashSpec, FaultPlan, RunSpec, execute_run
+    plan = FaultPlan(
+        name="decision-crash", seed=0, faulty=(4,),
+        crashes=(CrashSpec(server=4, after=10, trigger="decisions"),))
+    assert FaultPlan.from_json(plan.to_json()) == plan
+    # The historical default stays implicit in serialized reproducers.
+    default = FaultPlan(faulty=(4,), crashes=(CrashSpec(server=4),))
+    assert "trigger" not in default.to_json()["crashes"][0]
+    result = execute_run(RunSpec(protocol="atomic", plan=plan))
+    assert result.status == "ok"
