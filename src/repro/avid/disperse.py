@@ -209,6 +209,13 @@ class AvidServer:
         instance = self._instance(message.tag)
         if client in instance.completed:
             return
+        # Ready amplification must buffer the (commitment, client) key
+        # before this server can verify anything: its own block may only
+        # arrive with a later personalized ready.  The buffered state is
+        # bounded per key and every block in it is commitment-verified
+        # before use, so unverified commitments can waste one _KeyState
+        # slot but never reach a decode.
+        # lint: disable=taint-unverified-sink
         state = self._key_state(instance, commitment, client)
         state.ready_senders.add(message.sender)
         if state.own_block is None and my_block is not None:

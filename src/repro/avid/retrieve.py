@@ -145,6 +145,8 @@ class AvidStorageServer:
         if len(message.payload) != 1:
             return
         (round_no,) = message.payload
+        if not isinstance(round_no, int):
+            return  # byzantine round: never echo unverified objects back
         stored = self._stored.get(message.tag)
         if stored is None:
             # Respond anyway: retrieval quorums must not block on tags

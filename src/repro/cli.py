@@ -13,6 +13,8 @@ Usage::
         --out chaos-report.json --reproducer-dir reproducers/
     python -m repro.cli chaos --replay reproducers/chaos_atomic_ns_boundary_s0.json
     python -m repro.cli lint src/repro --format json
+    python -m repro.cli lint src/repro --sarif out.sarif \
+        --baseline benchmarks/LINT_baseline.json
     python -m repro.cli bench --label mine --out benchmarks \
         --compare benchmarks/BENCH_baseline_perf.json
 """
@@ -160,6 +162,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.obs.bench import (
         compare_rows,
         emit_bench,
+        run_lint_benchmarks,
         run_macro_benchmarks,
         run_micro_benchmarks,
     )
@@ -169,6 +172,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         suites.append(("micro", run_micro_benchmarks))
     if args.suite in ("macro", "all"):
         suites.append(("macro", run_macro_benchmarks))
+    if args.suite in ("lint", "all"):
+        suites.append(("lint", run_lint_benchmarks))
     rows = []
     for _, runner in suites:
         rows.extend(runner(quick=args.quick))
@@ -410,9 +415,10 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="run micro/macro performance benchmarks and emit "
                       "machine-readable BENCH_*.json rows")
     bench.add_argument("--suite", default="all",
-                       choices=["micro", "macro", "all"],
+                       choices=["micro", "macro", "lint", "all"],
                        help="micro: data-plane kernels; macro: "
-                            "end-to-end Atomic workloads")
+                            "end-to-end Atomic workloads; lint: "
+                            "static-analysis wall time (cold + cached)")
     bench.add_argument("--quick", action="store_true",
                        help="smoke mode: few iterations, smallest "
                             "cluster only")

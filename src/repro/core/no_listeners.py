@@ -51,6 +51,8 @@ class NoListenersServer(AtomicServer):
         if len(message.payload) != 2:
             return
         oid, round_no = message.payload
+        if not isinstance(oid, str) or not isinstance(round_no, int):
+            return  # byzantine query: never echo unverified objects back
         state = self.register_state(message.tag)
         self.send(message.sender, message.tag, MSG_VALUE,
                   (oid, round_no), state.commitment, state.block,

@@ -18,7 +18,19 @@ system cannot see:
   bit-length definition;
 * **handler completeness** — every message type that is ever sent must
   have a receive site (a handler or a wait condition) somewhere, and
-  vice versa.
+  vice versa;
+* **Byzantine taint flow** — every ``Message.payload`` field is
+  adversary-controlled until it passes a verification step
+  (commitment / Merkle / signature check, ``isinstance`` guard); the
+  ``taint`` pack tracks payload data interprocedurally to protocol
+  state writes, erasure decoding, operation completion, and re-sends
+  (see :mod:`repro.lint.flow`).
+
+Supporting machinery: SARIF 2.1.0 export (:mod:`repro.lint.sarif`),
+baseline snapshots that gate CI on *new* findings only
+(:mod:`repro.lint.baseline`), a whole-run incremental cache keyed by
+file content hashes (:mod:`repro.lint.cache`), and dead-waiver
+detection (``waiver-dead``) on full runs.
 
 The framework is purely AST-based (scanned code is never imported) and
 pluggable: see :class:`repro.lint.engine.Rule` and ``docs/LINTING.md``.
@@ -31,6 +43,7 @@ from __future__ import annotations
 
 from repro.lint.config import LintConfig
 from repro.lint.engine import (
+    RULE_WAIVER_DEAD,
     Finding,
     LintReport,
     ModuleInfo,
@@ -46,6 +59,7 @@ __all__ = [
     "LintReport",
     "ModuleInfo",
     "Project",
+    "RULE_WAIVER_DEAD",
     "Rule",
     "all_rules",
     "run_lint",

@@ -1,0 +1,108 @@
+"""Baseline snapshots: gate ``repro lint`` on *new* findings only.
+
+A baseline file records a fingerprint per known active finding, so a
+tree with accepted pre-existing findings can still gate CI: a run
+fails only when it produces a finding whose fingerprint is not in the
+baseline (or more occurrences of a known fingerprint than the baseline
+recorded).  Fixed findings never fail the gate — the baseline is a
+ratchet, re-written with ``--write-baseline`` as debt is paid down.
+
+Fingerprints deliberately exclude line numbers: inserting a line above
+a known finding must not make it "new".  They normalize the path to
+its ``src/``-relative form so the same tree checked out at different
+roots (or scanned via an absolute path) produces identical
+fingerprints — which also makes them safe to embed in SARIF
+``partialFingerprints``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.lint.findings import Finding, LintReport
+
+BASELINE_VERSION = 1
+
+
+def normalized_path(path: str) -> str:
+    """Checkout-independent form of a finding path: relative to the
+    last ``src`` component when one is present, else the bare path
+    with OS separators normalized."""
+    parts = Path(path).parts
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "src":
+            return "/".join(parts[index + 1:])
+    return "/".join(parts)
+
+
+def fingerprint(finding: Finding) -> str:
+    """Stable identity of a finding across runs and line drift."""
+    basis = "|".join((normalized_path(finding.path), finding.rule,
+                      finding.message))
+    return hashlib.sha256(basis.encode("utf-8")).hexdigest()
+
+
+def snapshot(report: LintReport) -> Dict[str, object]:
+    """The baseline document for ``report``'s *active* findings.
+
+    Waived findings are excluded: they are already accepted in-source
+    and un-waiving one should surface it as new.
+    """
+    counts = Counter(fingerprint(f) for f in report.active)
+    return {
+        "version": BASELINE_VERSION,
+        "findings": {
+            digest: {"count": count}
+            for digest, count in sorted(counts.items())
+        },
+    }
+
+
+def write_baseline(report: LintReport, path: Path) -> None:
+    """Serialize :func:`snapshot` of ``report`` to ``path`` as JSON."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(snapshot(report), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    """Fingerprint -> accepted occurrence count."""
+    document = json.loads(path.read_text(encoding="utf-8"))
+    findings = document.get("findings", {})
+    return {digest: int(entry.get("count", 1))
+            for digest, entry in findings.items()}
+
+
+def new_findings(report: LintReport,
+                 baseline: Dict[str, int]) -> List[Finding]:
+    """Active findings beyond what the baseline accepts.
+
+    Occurrences of one fingerprint are matched in report order: with a
+    baseline count of 2 and 3 occurrences, the third is new.
+    """
+    seen: Counter = Counter()
+    fresh: List[Finding] = []
+    for finding in report.active:
+        digest = fingerprint(finding)
+        seen[digest] += 1
+        if seen[digest] > baseline.get(digest, 0):
+            fresh.append(finding)
+    return fresh
+
+
+def apply_baseline(report: LintReport,
+                   path: Path) -> Tuple[List[Finding], int]:
+    """Gate ``report`` against the baseline at ``path``.
+
+    Returns ``(new, exit_code)``: the findings not covered by the
+    baseline and the resulting exit code (0 when everything active is
+    baselined, 1 otherwise).
+    """
+    baseline = load_baseline(path)
+    fresh = new_findings(report, baseline)
+    return fresh, (1 if fresh else 0)

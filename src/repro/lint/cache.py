@@ -1,0 +1,96 @@
+"""On-disk incremental cache for ``repro lint``.
+
+Rules are cross-module (wire registry, handler completeness, taint
+summaries follow calls between files), so per-file result caching is
+unsound: a change in one module can create findings in another.  The
+cache therefore keys the *whole run* — the sorted ``(dotted name,
+content hash)`` pairs of every scanned file, the rule selection, and a
+cache-format version — and replays the full report only when nothing
+changed at all.  That is exactly the tier-1 hot case: the gate test
+and the CLI lint the same unmodified tree several times per session.
+
+A stale entry is never served (any edit changes its file's content
+hash, which changes the key); writes keep a single entry per cache
+directory so the directory cannot grow without bound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Iterable, Optional, Tuple
+
+from repro.lint.findings import Finding, LintReport
+
+#: Bump when the report schema or any rule semantics change, so stale
+#: formats miss instead of deserializing garbage.
+CACHE_VERSION = 2
+
+_PREFIX = "lint-"
+
+
+def file_digest(path: Path) -> str:
+    """SHA-256 hex digest of the file's bytes (the cache-key input)."""
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+def cache_key(entries: Iterable[Tuple[str, str]],
+              rule_names: Iterable[str]) -> str:
+    """Digest of the full run identity.
+
+    ``entries`` are ``(dotted name, content hash)`` pairs for every
+    scanned file; ``rule_names`` is the effective rule selection
+    (pack names), so ``--rules taint`` and a full run cache separately.
+    """
+    basis = {
+        "version": CACHE_VERSION,
+        "files": sorted(entries),
+        "rules": sorted(rule_names),
+    }
+    encoded = json.dumps(basis, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(encoded).hexdigest()
+
+
+def _entry_path(directory: Path, key: str) -> Path:
+    return directory / f"{_PREFIX}{key}.json"
+
+
+def load(directory: Path, key: str) -> Optional[LintReport]:
+    """The cached report for ``key``, or ``None`` on miss/corruption."""
+    path = _entry_path(directory, key)
+    if not path.exists():
+        return None
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+        if document.get("version") != CACHE_VERSION:
+            return None
+        return LintReport(
+            findings=[Finding.from_json(f)
+                      for f in document["findings"]],
+            modules_checked=int(document["modules_checked"]),
+            rules_run=tuple(document["rules_run"]),
+            from_cache=True,
+        )
+    except (ValueError, KeyError, TypeError, OSError):
+        return None
+
+
+def store(directory: Path, key: str, report: LintReport) -> None:
+    """Persist ``report`` under ``key``, evicting other entries."""
+    directory.mkdir(parents=True, exist_ok=True)
+    document = {
+        "version": CACHE_VERSION,
+        "findings": [f.to_json() for f in report.findings],
+        "modules_checked": report.modules_checked,
+        "rules_run": list(report.rules_run),
+    }
+    path = _entry_path(directory, key)
+    for stale in directory.glob(f"{_PREFIX}*.json"):
+        if stale != path:
+            try:
+                stale.unlink()
+            except OSError:  # pragma: no cover - concurrent cleanup
+                pass
+    path.write_text(json.dumps(document, sort_keys=True) + "\n",
+                    encoding="utf-8")

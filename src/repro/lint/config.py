@@ -48,12 +48,25 @@ DETERMINISM_EXTRA_PREFIXES: Tuple[str, ...] = (
     "repro.common",
 )
 
+#: Packages where Byzantine payload data must be sanitized before it
+#: reaches protocol state, the erasure decoder, client completion, or
+#: the wire — the taint pack's scope.  Baselines and faults are
+#: excluded on purpose: fault injectors *produce* Byzantine data, and
+#: the crash-only baselines skip verification by design.
+TAINT_PREFIXES: Tuple[str, ...] = (
+    "repro.core",
+    "repro.avid",
+    "repro.broadcast",
+    "repro.kv",
+)
+
 #: Default scope per rule pack.  An empty tuple means "every module".
 DEFAULT_SCOPES: Dict[str, Tuple[str, ...]] = {
     "determinism": PROTOCOL_PREFIXES + DETERMINISM_EXTRA_PREFIXES,
     "quorum": PROTOCOL_PREFIXES,
     "handlers": PROTOCOL_PREFIXES,
     "wire": (),
+    "taint": TAINT_PREFIXES,
 }
 
 

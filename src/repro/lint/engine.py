@@ -134,22 +134,23 @@ def load_module(path: Path, dotted: Optional[str] = None) -> ModuleInfo:
     return info
 
 
-def discover(paths: Sequence[Path]) -> List[ModuleInfo]:
-    """Find and parse every ``.py`` file under ``paths``.
+def discover_sources(
+        paths: Sequence[Path]) -> List[Tuple[Path, Optional[str]]]:
+    """Find every ``.py`` file under ``paths`` without parsing it.
 
-    Directory roots that contain ``__init__.py`` are treated as
-    packages, so ``src/repro`` yields dotted names like
-    ``repro.core.atomic``.  Discovery order is sorted for
-    deterministic output.
+    Returns ``(path, dotted name)`` pairs in deterministic (sorted)
+    order.  Split from :func:`discover` so the incremental cache can
+    hash file contents and decide on a hit *before* paying for any
+    AST parse.
     """
-    modules: List[ModuleInfo] = []
+    sources: List[Tuple[Path, Optional[str]]] = []
     seen: Set[Path] = set()
     for raw in paths:
         root = Path(raw)
         if root.is_file():
             if root.resolve() not in seen:
                 seen.add(root.resolve())
-                modules.append(load_module(root))
+                sources.append((root, None))
             continue
         if not root.is_dir():
             raise FileNotFoundError(f"no such file or directory: {root}")
@@ -159,33 +160,109 @@ def discover(paths: Sequence[Path]) -> List[ModuleInfo]:
             if resolved in seen:
                 continue
             seen.add(resolved)
-            modules.append(
-                load_module(path, _dotted_for(path, root, package)))
-    return modules
+            sources.append((path, _dotted_for(path, root, package)))
+    return sources
+
+
+def discover(paths: Sequence[Path]) -> List[ModuleInfo]:
+    """Find and parse every ``.py`` file under ``paths``.
+
+    Directory roots that contain ``__init__.py`` are treated as
+    packages, so ``src/repro`` yields dotted names like
+    ``repro.core.atomic``.  Discovery order is sorted for
+    deterministic output.
+    """
+    return [load_module(path, dotted)
+            for path, dotted in discover_sources(paths)]
+
+
+def _waiver_lines_for(module: ModuleInfo, line: int) -> List[int]:
+    """The waiver-comment lines whose tokens cover ``line``: the line
+    itself plus, when the preceding line is a standalone comment
+    waiver, that line (mirrors :meth:`ModuleInfo.waived_rules`)."""
+    lines = []
+    if line in module.waivers:
+        lines.append(line)
+    prev = line - 1
+    if prev in module.waivers and \
+            module.source_lines[prev - 1].strip().startswith("#"):
+        lines.append(prev)
+    return lines
 
 
 def _apply_waivers(module_index: Dict[str, ModuleInfo],
-                   finding: Finding) -> Finding:
+                   finding: Finding,
+                   used: Set[Tuple[str, int, str]]) -> Finding:
     module = module_index.get(finding.path)
     if module is None:
         return finding
     waived = module.waived_rules(finding.line)
     if finding.rule in waived or "all" in waived:
+        for waiver_line in _waiver_lines_for(module, finding.line):
+            for token in module.waivers[waiver_line]:
+                if token == finding.rule or token == "all":
+                    used.add((module.dotted, waiver_line, token))
         return Finding(rule=finding.rule, path=finding.path,
                        line=finding.line, message=finding.message,
                        severity=finding.severity, waived=True)
     return finding
 
 
+RULE_WAIVER_DEAD = "waiver-dead"
+
+
+def _dead_waiver_findings(
+        modules: Sequence[ModuleInfo],
+        used: Set[Tuple[str, int, str]],
+        known_ids: Set[str]) -> Iterable[Finding]:
+    """One ``waiver-dead`` finding per waiver token that suppressed
+    nothing in a full run.
+
+    The meta-token ``waiver-dead`` itself is exempt (waiving the dead
+    check is a reviewed decision, not debt), and tokens that are not
+    rule ids at all get a distinct message so typos are obvious.
+    """
+    for module in modules:
+        for line in sorted(module.waivers):
+            for token in sorted(module.waivers[line]):
+                if token == RULE_WAIVER_DEAD:
+                    continue
+                if (module.dotted, line, token) in used:
+                    continue
+                if token != "all" and token not in known_ids:
+                    message = (f"waiver names unknown rule id '{token}' "
+                               "(see --list-rules) — fix the id or "
+                               "delete the comment")
+                else:
+                    message = (f"waiver '{token}' suppresses nothing — "
+                               "the finding it covered is gone; delete "
+                               "the comment")
+                yield Finding(rule=RULE_WAIVER_DEAD,
+                              path=module.display_path, line=line,
+                              message=message, severity="warning")
+
+
 def run_lint(paths: Sequence[Path],
              config: Optional[LintConfig] = None,
              rules: Optional[Sequence[Rule]] = None,
-             only: Optional[Set[str]] = None) -> LintReport:
+             only: Optional[Set[str]] = None,
+             cache_dir: Optional[Path] = None) -> LintReport:
     """Lint ``paths`` and return a :class:`LintReport`.
 
     ``only`` restricts the run to rules whose pack name or any rule id
-    matches; ``None`` runs everything.
+    matches; ``None`` runs everything.  Full runs additionally report
+    ``waiver-dead`` for waiver comments that suppressed nothing —
+    partial runs skip the check, since a waiver for an unselected rule
+    is not dead, merely unexercised.
+
+    ``cache_dir`` enables the whole-run incremental cache: when every
+    scanned file's content hash and the rule selection match the
+    stored entry, the cached report is returned without parsing a
+    single file (``report.from_cache`` is then true).  The cache keys
+    runs by file content and rule selection only, so callers passing a
+    non-default ``config`` or ``rules`` should not pass ``cache_dir``.
     """
+    from repro.lint import cache as lint_cache
     from repro.lint.rules import all_rules
 
     config = config or LintConfig()
@@ -194,20 +271,47 @@ def run_lint(paths: Sequence[Path],
         active_rules = [
             r for r in active_rules
             if r.pack in only or any(rid in only for rid in r.rule_ids)]
-    project = Project(modules=discover(paths))
+
+    sources = discover_sources(paths)
+    cache_key = None
+    if cache_dir is not None:
+        entries = [(dotted or path.stem, lint_cache.file_digest(path))
+                   for path, dotted in sources]
+        cache_key = lint_cache.cache_key(
+            entries, [r.pack for r in active_rules])
+        cached = lint_cache.load(cache_dir, cache_key)
+        if cached is not None:
+            return cached
+
+    project = Project(modules=[load_module(path, dotted)
+                               for path, dotted in sources])
     module_index = {m.display_path: m for m in project.modules}
 
     findings: List[Finding] = []
     seen: Set[Finding] = set()
+    used_waivers: Set[Tuple[str, int, str]] = set()
     for rule in active_rules:
         for finding in rule.run(project, config):
-            finding = _apply_waivers(module_index, finding)
+            finding = _apply_waivers(module_index, finding, used_waivers)
+            if finding not in seen:
+                seen.add(finding)
+                findings.append(finding)
+    if only is None:
+        known_ids: Set[str] = {r.pack for r in active_rules}
+        for rule in active_rules:
+            known_ids.update(rule.rule_ids)
+        for finding in _dead_waiver_findings(project.modules,
+                                             used_waivers, known_ids):
+            finding = _apply_waivers(module_index, finding, used_waivers)
             if finding not in seen:
                 seen.add(finding)
                 findings.append(finding)
     findings.sort(key=Finding.sort_key)
-    return LintReport(
+    report = LintReport(
         findings=findings,
         modules_checked=len(project.modules),
         rules_run=tuple(r.pack for r in active_rules),
     )
+    if cache_dir is not None and cache_key is not None:
+        lint_cache.store(cache_dir, cache_key, report)
+    return report

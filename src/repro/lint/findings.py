@@ -23,9 +23,13 @@ class Finding:
     severity: str = "error"
     waived: bool = False
 
-    def sort_key(self) -> Tuple[str, int, str]:
-        """Stable ordering: path, then line, then rule id."""
-        return (self.path, self.line, self.rule)
+    def sort_key(self) -> Tuple[str, int, str, str, str, bool]:
+        """Stable total ordering: path, line, rule id, then the
+        remaining fields — so text/JSON/SARIF diffs are byte-stable
+        across runs and Python versions even when one line carries
+        several findings of the same rule."""
+        return (self.path, self.line, self.rule, self.message,
+                self.severity, self.waived)
 
     def render(self) -> str:
         """One-line ``path:line: severity: [rule] message`` form."""
@@ -44,6 +48,18 @@ class Finding:
             "waived": self.waived,
         }
 
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "Finding":
+        """Inverse of :meth:`to_json` (used by the on-disk cache)."""
+        return cls(
+            rule=str(data["rule"]),
+            path=str(data["path"]),
+            line=int(data["line"]),
+            message=str(data["message"]),
+            severity=str(data.get("severity", "error")),
+            waived=bool(data.get("waived", False)),
+        )
+
 
 @dataclass
 class LintReport:
@@ -52,6 +68,8 @@ class LintReport:
     findings: List[Finding] = field(default_factory=list)
     modules_checked: int = 0
     rules_run: Tuple[str, ...] = ()
+    #: whether this report was served from the incremental cache
+    from_cache: bool = False
 
     @property
     def active(self) -> List[Finding]:

@@ -1,0 +1,21 @@
+"""Interprocedural taint-flow analysis for Byzantine inputs.
+
+See :mod:`repro.lint.flow.registry` for the source/sanitizer/sink
+model and :mod:`repro.lint.flow.analysis` for the engine itself.
+"""
+
+from repro.lint.flow.registry import (
+    DEFAULT_REGISTRY,
+    DEFAULT_SANITIZERS,
+    Sanitizer,
+    TaintRegistry,
+)
+from repro.lint.flow.rule import TaintFlowRule
+
+__all__ = [
+    "DEFAULT_REGISTRY",
+    "DEFAULT_SANITIZERS",
+    "Sanitizer",
+    "TaintRegistry",
+    "TaintFlowRule",
+]

@@ -1,0 +1,46 @@
+"""The ``taint`` rule pack: Byzantine payload flow tracking.
+
+Wraps the flow engine (:mod:`repro.lint.flow.analysis`) as an ordinary
+:class:`repro.lint.engine.Rule`, so findings go through the standard
+waiver/report pipeline and the pack participates in ``--rules``
+filtering and ``--list-rules`` like every other pack.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import Project
+from repro.lint.findings import Finding
+from repro.lint.flow.analysis import (
+    RULE_DEAD_SANITIZER,
+    RULE_UNKNOWN_SANITIZER,
+    RULE_UNVERIFIED_SINK,
+    FlowContext,
+    analyze_module,
+)
+from repro.lint.flow.registry import DEFAULT_REGISTRY, TaintRegistry
+
+
+class TaintFlowRule:
+    """Interprocedural taint tracking from Byzantine inputs to sinks."""
+
+    pack = "taint"
+    rule_ids: Tuple[str, ...] = (
+        RULE_UNVERIFIED_SINK,
+        RULE_UNKNOWN_SANITIZER,
+        RULE_DEAD_SANITIZER,
+    )
+
+    def __init__(self, registry: TaintRegistry = DEFAULT_REGISTRY):
+        self.registry = registry
+
+    def run(self, project: Project,
+            config: LintConfig) -> Iterable[Finding]:
+        """Analyze every in-scope module and yield taint findings."""
+        ctx = FlowContext(project, self.registry,
+                          in_scope=lambda dotted:
+                          config.in_scope(self.pack, dotted))
+        for module in project.scoped(self.pack, config):
+            yield from analyze_module(ctx, module)

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.lint.engine import Rule
+from repro.lint.flow.rule import TaintFlowRule
 from repro.lint.rules.determinism import DeterminismRule
 from repro.lint.rules.handlers import HandlerCompletenessRule
 from repro.lint.rules.quorum import QuorumArithmeticRule
@@ -19,6 +20,7 @@ __all__ = [
     "DeterminismRule",
     "HandlerCompletenessRule",
     "QuorumArithmeticRule",
+    "TaintFlowRule",
     "WireRegistryRule",
     "all_rules",
 ]
@@ -31,4 +33,5 @@ def all_rules() -> List[Rule]:
         QuorumArithmeticRule(),
         WireRegistryRule(),
         HandlerCompletenessRule(),
+        TaintFlowRule(),
     ]

@@ -13,7 +13,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from repro.lint.engine import run_lint
+from repro.lint.engine import RULE_WAIVER_DEAD, run_lint
 from repro.lint.findings import LintReport
 from repro.lint.rules import all_rules
 
@@ -32,7 +32,7 @@ def build_parser(prog: str = "repro-lint") -> argparse.ArgumentParser:
         prog=prog,
         description=("Protocol-aware static analysis: determinism, "
                      "quorum arithmetic, wire-registry and handler "
-                     "completeness."))
+                     "completeness, and Byzantine taint flow."))
     add_lint_arguments(parser)
     return parser
 
@@ -56,6 +56,21 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--show-waived", action="store_true",
         help="include waived findings in the text report")
+    parser.add_argument(
+        "--sarif", type=Path, default=None, metavar="FILE",
+        help="additionally write the report as SARIF 2.1.0 to FILE")
+    parser.add_argument(
+        "--baseline", type=Path, default=None, metavar="FILE",
+        help="gate against a baseline snapshot: exit nonzero only for "
+             "findings not recorded in FILE")
+    parser.add_argument(
+        "--write-baseline", type=Path, default=None, metavar="FILE",
+        help="write the current active findings as a baseline "
+             "snapshot to FILE and exit 0")
+    parser.add_argument(
+        "--cache", type=Path, default=None, metavar="DIR",
+        help="incremental cache directory: replay the previous report "
+             "when no scanned file changed")
 
 
 def list_rules() -> str:
@@ -63,6 +78,7 @@ def list_rules() -> str:
     lines: List[str] = []
     for rule in all_rules():
         lines.append(f"{rule.pack}: {', '.join(rule.rule_ids)}")
+    lines.append(f"engine: {RULE_WAIVER_DEAD}")
     return "\n".join(lines)
 
 
@@ -89,7 +105,7 @@ def run_from_args(args: argparse.Namespace) -> int:
     if args.rules:
         only = {part.strip() for part in args.rules.split(",")
                 if part.strip()}
-        known = set()
+        known = {RULE_WAIVER_DEAD}
         for rule in all_rules():
             known.add(rule.pack)
             known.update(rule.rule_ids)
@@ -99,10 +115,37 @@ def run_from_args(args: argparse.Namespace) -> int:
                   f"(see --list-rules)", file=sys.stderr)
             return 2
     try:
-        report = run_lint(paths, only=only)
+        report = run_lint(paths, only=only,
+                          cache_dir=getattr(args, "cache", None))
     except FileNotFoundError as exc:
         print(f"repro-lint: {exc}", file=sys.stderr)
         return 2
+    if getattr(args, "sarif", None) is not None:
+        from repro.lint.sarif import render_sarif
+
+        args.sarif.parent.mkdir(parents=True, exist_ok=True)
+        args.sarif.write_text(render_sarif(report), encoding="utf-8")
+    if getattr(args, "write_baseline", None) is not None:
+        from repro.lint.baseline import write_baseline
+
+        write_baseline(report, args.write_baseline)
+        print(f"repro-lint: baseline written to {args.write_baseline} "
+              f"({len(report.active)} finding(s))")
+        return 0
+    if getattr(args, "baseline", None) is not None:
+        from repro.lint.baseline import apply_baseline
+
+        try:
+            fresh, exit_code = apply_baseline(report, args.baseline)
+        except FileNotFoundError as exc:
+            print(f"repro-lint: {exc}", file=sys.stderr)
+            return 2
+        for finding in fresh:
+            print(finding.render())
+        print(f"{len(fresh)} new finding(s) beyond baseline, "
+              f"{len(report.active)} active total, "
+              f"{report.modules_checked} module(s) checked")
+        return exit_code
     if args.format == "json":
         print(json.dumps(report.to_json(), indent=2, sort_keys=True))
     else:

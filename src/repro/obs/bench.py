@@ -235,6 +235,37 @@ def run_macro_benchmarks(quick: bool = False) -> List[BenchRow]:
     return [_macro_case(n, seed=n, value_size=4096) for n in sizes]
 
 
+def run_lint_benchmarks(quick: bool = False) -> List[BenchRow]:
+    """Wall time of the full ``repro lint`` suite over the package.
+
+    Static-analysis cost rides in tier-1 (the lint gate runs every
+    rule pack including interprocedural taint flow), so it is tracked
+    like any other kernel: one row for a cold full run, one for a
+    cache-served run, making both the analysis cost and the
+    incremental-cache payoff visible in ``BENCH_*.json`` diffs.
+    """
+    import tempfile
+    from pathlib import Path as _Path
+
+    from repro.lint import run_lint
+    from repro.lint.runner import default_target
+
+    target = default_target()
+    report = run_lint([target])  # warm the parser-independent imports
+    params = {"modules": report.modules_checked,
+              "rules": sorted(set(report.rules_run))}
+    iterations = 1 if quick else 3
+    rows = [_timed("lint.full_suite", params, iterations,
+                   lambda: run_lint([target]))]
+    with tempfile.TemporaryDirectory() as scratch:
+        cache_dir = _Path(scratch)
+        run_lint([target], cache_dir=cache_dir)  # populate
+        rows.append(_timed("lint.cached_suite", params, iterations,
+                           lambda: run_lint([target],
+                                            cache_dir=cache_dir)))
+    return rows
+
+
 def compare_rows(baseline: List[Dict[str, Any]],
                  after: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
     """Join two row lists on ``(name, params)`` and compute speedups.

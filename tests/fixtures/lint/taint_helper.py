@@ -1,0 +1,33 @@
+"""Fixture: taint sanitized through a helper validator (never imported).
+
+``valid_entry`` is not in the sanitizer registry, but the engine
+resolves the call and classifies it as a validator (it type-checks its
+parameter), so the guarded flow is clean.  ``check_freshness`` looks
+like a sanitizer, cannot be resolved, and is not registered — the
+engine must flag the registry gap (``taint-unknown-sanitizer``) while
+optimistically cleansing so no downstream noise follows.
+"""
+
+
+def valid_entry(payload):
+    return (isinstance(payload, tuple) and len(payload) == 2
+            and isinstance(payload[0], str))
+
+
+class HelperServer:
+    def __init__(self):
+        self.state = {}
+        self.on("entry", self._on_entry)
+        self.on("fresh", self._on_fresh)
+
+    def _on_entry(self, message):
+        payload = message.payload
+        if not valid_entry(payload):
+            return
+        self.state["entry"] = payload           # helper-validated: clean
+
+    def _on_fresh(self, message):
+        value = message.payload[0]
+        if not self.check_freshness(value):     # line 31: unknown-san
+            return
+        self.state["fresh"] = value             # optimistically clean

@@ -1,0 +1,43 @@
+"""Fixture: deliberate byzantine taint-flow violations (never imported).
+
+Line numbers are pinned in ``tests/test_lint_flow.py`` — append new
+material at the end instead of inserting above existing violations.
+"""
+
+
+class LeakyServer:
+    def __init__(self, coder, scheme):
+        self.coder = coder
+        self.scheme = scheme
+        self.state = {}
+        self.on("store", self._on_store)
+        self.on("echo", self._on_echo)
+        self.on("query", self._on_query)
+        self.on("audit", self._on_audit)
+        self.on("shape", self._on_shape)
+
+    def _on_store(self, message):
+        value = message.payload[0]
+        self.state["stored"] = value            # line 21: unverified-sink
+
+    def _on_echo(self, message):
+        origin, value = message.payload
+        self.send_to_servers(message.tag, "echo2",
+                             origin, value)     # line 26: unverified-sink
+
+    def _on_query(self, message):
+        blocks = message.payload[0]
+        value = self.coder.decode(blocks)       # line 30: unverified-sink
+        self._deliver(message.tag, value)       # line 31: unverified-sink
+
+    def _on_audit(self, message):
+        commitment, block, witness = message.payload
+        self.scheme.verify(commitment, 1, block, witness)  # 35: dead-san
+        self.state["audited"] = block           # line 36: unverified-sink
+
+    def _on_shape(self, message):
+        # A len() guard checks arity, not contents: still tainted.
+        if len(message.payload) != 1:
+            return
+        value = message.payload[0]
+        self.state["shaped"] = value            # line 43: unverified-sink

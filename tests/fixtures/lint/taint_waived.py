@@ -1,0 +1,24 @@
+"""Fixture: taint violations suppressed by justified waivers.
+
+The flows here are deliberate (a relay protocol forwarding opaque
+values); the waivers must suppress them and count as *used* for the
+``waiver-dead`` check.
+"""
+
+
+class RelayServer:
+    def __init__(self):
+        self.state = {}
+        self.on("relay", self._on_relay)
+        self.on("buffer", self._on_buffer)
+
+    def _on_relay(self, message):
+        # Relays are opaque by design: consumers verify at delivery.
+        self.send_to_servers(
+            message.tag, "relay2",
+            message.payload[0])  # lint: disable=taint-unverified-sink
+
+    def _on_buffer(self, message):
+        # Buffering before verification is bounded per sender.
+        # lint: disable=taint-unverified-sink
+        self.state["pending"] = message.payload[0]

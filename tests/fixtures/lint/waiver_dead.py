@@ -1,0 +1,14 @@
+"""Fixture: waiver comments that no longer suppress anything.
+
+``waiver-dead`` findings are pinned in ``tests/test_lint_flow.py``;
+the engine emits them only on full runs (no ``--rules`` filter).
+"""
+
+
+def settled():
+    # Nothing on the next line violates determinism any more.
+    return 1  # lint: disable=det-entropy
+
+
+def misspelled():
+    return 2  # lint: disable=det-entorpy

@@ -2,36 +2,106 @@
 
 This is the machine-checked version of the invariants the reproduction
 rests on: protocol determinism, quorum arithmetic under ``n > 3t``,
-wire-registry completeness, and handler completeness.  A failure here
-means a protocol module regressed — fix it or add an explicit
-``# lint: disable=<rule>`` waiver with a justification.
+wire-registry completeness, handler completeness, and Byzantine taint
+flow (every ``Message.payload`` field verified before it reaches a
+sink).  A failure here means a protocol module regressed — fix it or
+add an explicit ``# lint: disable=<rule>`` waiver with a justification
+(unused waivers are themselves flagged by ``waiver-dead``).
+
+The gate also exercises the CI surface end to end: the SARIF export
+and the committed baseline (``benchmarks/LINT_baseline.json``) must
+round-trip — baselined findings pass, new findings fail.
 """
 
+import json
+import os
+import subprocess
+import sys
 from pathlib import Path
+
+import pytest
 
 from repro.lint import run_lint
 
-SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src" / "repro"
+BASELINE = ROOT / "benchmarks" / "LINT_baseline.json"
+
+
+def _lint_subprocess(*arguments):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(ROOT / "src")] + env.get("PYTHONPATH", "").split(os.pathsep))
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *arguments],
+        capture_output=True, text=True, cwd=ROOT, env=env)
+
+
+@pytest.fixture(scope="module")
+def full_report():
+    return run_lint([SRC])
 
 
 def test_source_tree_exists():
     assert (SRC / "lint" / "engine.py").exists()
 
 
-def test_full_suite_zero_unwaived_findings():
-    report = run_lint([SRC])
-    rendered = "\n".join(f.render() for f in report.active)
-    assert not report.active, f"unwaived lint findings:\n{rendered}"
-    assert report.exit_code == 0
+def test_full_suite_zero_unwaived_findings(full_report):
+    rendered = "\n".join(f.render() for f in full_report.active)
+    assert not full_report.active, \
+        f"unwaived lint findings:\n{rendered}"
+    assert full_report.exit_code == 0
 
 
-def test_gate_covers_all_rule_packs():
-    report = run_lint([SRC])
-    assert set(report.rules_run) == {
-        "determinism", "quorum", "wire", "handlers"}
+def test_gate_covers_all_rule_packs(full_report):
+    assert set(full_report.rules_run) == {
+        "determinism", "quorum", "wire", "handlers", "taint"}
 
 
-def test_gate_scans_protocol_modules():
-    report = run_lint([SRC])
+def test_gate_scans_protocol_modules(full_report):
     # The whole package tree is parsed, not a subset.
-    assert report.modules_checked >= 90
+    assert full_report.modules_checked >= 90
+
+
+def test_no_dead_waivers_in_source_tree(full_report):
+    dead = [f for f in full_report.findings if f.rule == "waiver-dead"]
+    rendered = "\n".join(f.render() for f in dead)
+    assert not dead, f"stale waiver comments:\n{rendered}"
+
+
+def test_sarif_baseline_ci_invocation(tmp_path):
+    """The documented CI command line succeeds against the committed
+    baseline and produces a well-formed SARIF file."""
+    sarif_path = tmp_path / "out.sarif"
+    result = _lint_subprocess(str(SRC), "--sarif", str(sarif_path),
+                              "--baseline", str(BASELINE))
+    assert result.returncode == 0, \
+        f"baseline gate failed:\n{result.stdout}\n{result.stderr}"
+    document = json.loads(sarif_path.read_text(encoding="utf-8"))
+    assert document["version"] == "2.1.0"
+    [run] = document["runs"]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    # Active findings are all baselined-or-absent; waived ones appear
+    # as suppressed results.
+    assert all("suppressions" in r or r["ruleId"]
+               for r in run["results"])
+
+
+def test_committed_baseline_matches_clean_tree():
+    """The committed baseline records zero accepted findings: the tree
+    is clean, so any future finding is 'new' and fails the gate."""
+    document = json.loads(BASELINE.read_text(encoding="utf-8"))
+    assert document["version"] == 1
+    assert document["findings"] == {}
+
+
+def test_baseline_gate_fails_on_new_finding(tmp_path):
+    """End-to-end ratchet check: a fresh violation on top of the
+    committed baseline exits nonzero."""
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\n\n\ndef now():\n"
+                   "    return time.time()\n")
+    result = _lint_subprocess(str(SRC), str(bad),
+                              "--baseline", str(BASELINE))
+    assert result.returncode == 1
+    assert "det-wallclock" in result.stdout

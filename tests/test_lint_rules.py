@@ -109,8 +109,9 @@ def test_runner_cli_json_output(capsys):
 def test_runner_lists_rules(capsys):
     assert lint_main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for pack in ("determinism", "quorum", "wire", "handlers"):
+    for pack in ("determinism", "quorum", "wire", "handlers", "taint"):
         assert pack in out
+    assert "waiver-dead" in out
 
 
 def test_rule_filter_limits_packs():
