@@ -71,6 +71,10 @@ class AvidRetrieverClient:
             return (message.sender.is_server and len(payload) == 4
                     and payload[0] == round_no)
 
+        # check() is re-polled on every activation; report each server's
+        # failed block verification to the tracer only once per round.
+        flagged = set()
+
         def check():
             """Done when some commitment group holds ``k`` valid blocks,
             or ``n - t`` servers answered either 'nothing stored' or a
@@ -103,6 +107,10 @@ class AvidRetrieverClient:
                                       {})[index] = block
                 else:
                     invalid += 1
+                    if message.sender not in flagged:
+                        flagged.add(message.sender)
+                        process.note_verification_failure(
+                            tag, MSG_BLOCK, message.sender)
             for blocks in groups.values():
                 if len(blocks) >= config.k:
                     try:

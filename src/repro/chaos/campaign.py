@@ -167,7 +167,7 @@ def _fault_counts(injector: FaultInjector) -> Dict[str, int]:
             if summary.get("type") == "counter"}
 
 
-def execute_run(spec: RunSpec) -> RunResult:
+def execute_run(spec: RunSpec, monitor=None) -> RunResult:
     """Execute one chaos run and classify its outcome.
 
     The workload is the standard seeded random mix; faults come only
@@ -175,8 +175,15 @@ def execute_run(spec: RunSpec) -> RunResult:
     operation terminate once the network quiesced?), then atomicity of
     whatever history did complete — a safety violation outranks a
     stall.
+
+    ``monitor`` (a :class:`repro.obs.health.HealthMonitor`) is attached
+    as the run's tracer before the workload starts and finalized on
+    every exit path, so ``repro monitor`` can score server health and
+    SLO burn over exactly the run the campaign classified.
     """
     cluster, injector = build_chaos_cluster(spec)
+    if monitor is not None:
+        monitor.attach(cluster.simulator)
     operations = random_workload(spec.clients, writes=spec.writes,
                                  reads=spec.reads, seed=spec.seed)
     try:
@@ -188,6 +195,9 @@ def execute_run(spec: RunSpec) -> RunResult:
                          steps=cluster.simulator.time,
                          digest=_event_log_digest(cluster),
                          faults=_fault_counts(injector))
+    finally:
+        if monitor is not None:
+            monitor.finalize()
     honest = [server.pid for index, server
               in enumerate(cluster.servers, start=1)
               if index not in set(spec.plan.faulty)]
@@ -228,16 +238,29 @@ def sweep(protocols: Sequence[str], plan_names: Sequence[str],
 
 
 def campaign_report(results: Sequence[RunResult]) -> Dict[str, Any]:
-    """Aggregate a sweep into the JSON campaign report."""
+    """Aggregate a sweep into the JSON campaign report.
+
+    ``fault_profile`` sums every injector counter per plan name — the
+    per-plan coverage signal (which fault kinds and rules actually
+    fired, how often) that coverage-guided plan search keys on.
+    """
     by_status: Dict[str, int] = {}
+    fault_profile: Dict[str, Dict[str, int]] = {}
     for result in results:
         by_status[result.status] = by_status.get(result.status, 0) + 1
+        profile = fault_profile.setdefault(result.spec.plan.name, {})
+        for counter, value in result.faults.items():
+            profile[counter] = profile.get(counter, 0) + value
     unexpected = [result for result in results if not result.expected]
     return {
         "runs": len(results),
         "by_status": {name: by_status[name]
                       for name in sorted(by_status)},
         "unexpected": len(unexpected),
+        "fault_profile": {name: {counter: profile[counter]
+                                 for counter in sorted(profile)}
+                          for name, profile in
+                          sorted(fault_profile.items())},
         "results": [result.to_json() for result in results],
     }
 

@@ -111,6 +111,10 @@ class FaultInjector:
             if not self._matches(rule, message):
                 continue
             self._budgets[index] -= 1
+            # Per-rule firing profile: which plan entry consumed budget
+            # (the coverage signal plan search mutates toward).
+            self.instruments.counter(
+                f"chaos.rule[{index}:{rule.kind}]").inc()
             if rule.kind == "drop":
                 self._record("drop", message)
                 return ()

@@ -17,6 +17,13 @@ Usage::
         --baseline benchmarks/LINT_baseline.json
     python -m repro.cli bench --label mine --out benchmarks \
         --compare benchmarks/BENCH_baseline_perf.json
+    python -m repro.cli bench --quick --compare \
+        benchmarks/BENCH_baseline_perf.json --check --tolerance 30
+    python -m repro.cli monitor --source simulate --plan delays
+    python -m repro.cli monitor --source chaos --seeds 2 \
+        --out benchmarks --label health_baseline
+    python -m repro.cli monitor --source kv-bench --shards 4 \
+        --html health.html --prom health.prom
 """
 
 from __future__ import annotations
@@ -162,10 +169,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.obs.bench import (
         compare_rows,
         emit_bench,
+        regressions,
         run_lint_benchmarks,
         run_macro_benchmarks,
         run_micro_benchmarks,
     )
+
+    if args.check and not args.compare:
+        print("--check requires --compare BASELINE", file=sys.stderr)
+        return 2
 
     suites = []
     if args.suite in ("micro", "all"):
@@ -207,6 +219,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         from pathlib import Path
         path = emit_bench(args.label, payload, directory=Path(args.out))
         print(f"\nwrote {path}")
+    if args.compare and args.check:
+        flagged = regressions(comparisons, args.tolerance)
+        if flagged:
+            print(f"\nREGRESSION: {len(flagged)} benchmark(s) beyond "
+                  f"{args.tolerance:g}% of baseline:")
+            for record in flagged:
+                print(f"  {record['name']:<28} "
+                      f"{record['baseline_us']:>10.1f}us -> "
+                      f"{record['after_us']:>10.1f}us "
+                      f"({record['regression_pct']:+g}%)")
+            return 1
+        print(f"\nperf check ok: no benchmark regressed beyond "
+              f"{args.tolerance:g}% of baseline")
     return 0
 
 
@@ -327,6 +352,14 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     report = campaign_report(results)
     print(f"\n{report['runs']} runs: {report['by_status']}; "
           f"{report['unexpected']} unexpected outcome(s)")
+    profiles = {name: profile for name, profile
+                in report["fault_profile"].items() if profile}
+    if profiles:
+        print("\nfault coverage (injector counters summed per plan):")
+        for plan_name, profile in profiles.items():
+            detail = " ".join(f"{counter}={profile[counter]}"
+                              for counter in sorted(profile))
+            print(f"  {plan_name:<14} {detail}")
 
     failing = [result for result in results
                if result.status != STATUS_OK]
@@ -354,6 +387,152 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             stream.write("\n")
         print(f"wrote campaign report to {args.out}")
     return 0 if not report["unexpected"] else 1
+
+
+def _monitor_export(args: argparse.Namespace, monitor) -> None:
+    """Write the optional ``--html`` / ``--prom`` reports for one
+    monitored run."""
+    from repro.obs import export_health_html, export_prometheus
+
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as stream:
+            export_health_html(monitor, stream)
+        print(f"wrote HTML health report to {args.html}")
+    if args.prom:
+        with open(args.prom, "w", encoding="utf-8") as stream:
+            count = export_prometheus(monitor, stream)
+        print(f"wrote {count} Prometheus samples to {args.prom}")
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    from repro.chaos import BUILTIN_PLANS, RunSpec, builtin_plan, execute_run
+    from repro.obs import HealthMonitor, health_dashboard
+    from repro.obs.bench import emit_bench
+
+    if args.smoke:
+        args.seeds = 1
+        args.writes = min(args.writes, 3)
+        args.reads = min(args.reads, 3)
+
+    def make_monitor() -> HealthMonitor:
+        return HealthMonitor(bucket_ticks=args.bucket_ticks)
+
+    def run_spec(plan_name: str, seed: int):
+        plan = builtin_plan(plan_name, args.n, args.t, seed=seed)
+        spec = RunSpec(protocol=args.protocol, plan=plan, n=args.n,
+                       t=args.t, seed=seed, clients=args.clients,
+                       writes=args.writes, reads=args.reads)
+        monitor = make_monitor()
+        result = execute_run(spec, monitor=monitor)
+        return spec, result, monitor
+
+    if args.source == "kv-bench":
+        from repro.kv.bench import run_kv_case
+
+        monitor = make_monitor()
+        plan_name = None if args.plan == "none" else args.plan
+        overrides = {"sessions": 2, "keys": 8, "ops": 24,
+                     "value_size": 32} if args.smoke else {}
+        row, _ = run_kv_case(args.shards, n=args.n, t=args.t,
+                             protocol=args.protocol, seed=args.seed,
+                             plan_name=plan_name, monitor=monitor,
+                             **overrides)
+        print(f"source=kv-bench protocol={args.protocol} "
+              f"shards={args.shards} plan={args.plan} n={args.n} "
+              f"t={args.t} seed={args.seed}")
+        print(f"ops={row.ops} ops/tick={row.ops_per_tick:.4f} "
+              f"linearizable={'ok' if row.linearizable else 'FAIL'}")
+        print()
+        print(health_dashboard(monitor))
+        _monitor_export(args, monitor)
+        if args.out:
+            from pathlib import Path
+            payload = {"source": "kv-bench", "row": row.to_json(),
+                       "telemetry": monitor.snapshot()}
+            path = emit_bench(args.label, payload,
+                              directory=Path(args.out))
+            print(f"wrote {path}")
+        return 0
+
+    if args.source == "simulate":
+        if args.plan not in BUILTIN_PLANS:
+            print(f"unknown plan {args.plan!r}; choose from "
+                  f"{list(BUILTIN_PLANS)}", file=sys.stderr)
+            return 2
+        spec, result, monitor = run_spec(args.plan, args.seed)
+        print(f"source=simulate protocol={args.protocol} "
+              f"plan={args.plan} n={args.n} t={args.t} "
+              f"seed={args.seed} status={result.status}")
+        print()
+        print(health_dashboard(monitor))
+        _monitor_export(args, monitor)
+        if args.out:
+            from pathlib import Path
+            payload = {"source": "simulate", "status": result.status,
+                       "telemetry": monitor.snapshot()}
+            path = emit_bench(args.label, payload,
+                              directory=Path(args.out))
+            print(f"wrote {path}")
+        return 0
+
+    # -- source == "chaos": sweep plans x seeds, score separation ------------
+    plan_names = list(args.plans)
+    unknown = sorted(set(plan_names) - set(BUILTIN_PLANS))
+    if unknown:
+        print(f"unknown plans: {unknown}; choose from "
+              f"{list(BUILTIN_PLANS)}", file=sys.stderr)
+        return 2
+    runs = []
+    last_monitor = None
+    print(f"source=chaos protocol={args.protocol} n={args.n} "
+          f"t={args.t} seeds={args.seeds}")
+    print(f"{'plan':<14} {'seed':>4} {'status':<10} {'faulty':<10} "
+          f"{'separation':<11} {'alerts':<7} scores")
+    for plan_name in plan_names:
+        for seed in range(args.seeds):
+            spec, result, monitor = run_spec(plan_name, seed)
+            last_monitor = monitor
+            scores = monitor.suspicion_scores()
+            faulty = [f"P{index}" for index in spec.plan.faulty]
+            honest = [server for server in scores
+                      if server not in faulty]
+            if faulty and honest:
+                separated = (min(scores[server] for server in faulty)
+                             > max(scores[server] for server in honest))
+                verdict = "ok" if separated else "MIXED"
+            else:
+                separated = None
+                verdict = "-"
+            alerts = [entry["name"] for entry in monitor.alerts()]
+            runs.append({
+                "plan": plan_name,
+                "seed": seed,
+                "status": result.status,
+                "faulty": faulty,
+                "scores": scores,
+                "separated": separated,
+                "alerts": alerts,
+            })
+            score_text = " ".join(f"{server}={value:.3f}"
+                                  for server, value in scores.items())
+            print(f"{plan_name:<14} {seed:>4} {result.status:<10} "
+                  f"{','.join(faulty) or '-':<10} {verdict:<11} "
+                  f"{len(alerts):<7} {score_text}")
+    mixed = [run for run in runs if run["separated"] is False]
+    alerting = sorted({run["plan"] for run in runs if run["alerts"]})
+    print(f"\n{len(runs)} runs: "
+          f"{len(mixed)} without faulty/honest separation; "
+          f"burn alerts under {alerting or 'no plan'}")
+    if last_monitor is not None:
+        _monitor_export(args, last_monitor)
+    if args.out:
+        from pathlib import Path
+        payload = {"source": "chaos", "protocol": args.protocol,
+                   "n": args.n, "t": args.t, "seeds": args.seeds,
+                   "bucket_ticks": args.bucket_ticks, "runs": runs}
+        path = emit_bench(args.label, payload, directory=Path(args.out))
+        print(f"wrote {path}")
+    return 0
 
 
 def _add_workload_arguments(parser: argparse.ArgumentParser,
@@ -431,6 +610,14 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--compare", metavar="FILE", default=None,
                        help="baseline BENCH_*.json to compute speedups "
                             "against (embedded in the output)")
+    bench.add_argument("--check", action="store_true",
+                       help="with --compare: exit non-zero if any "
+                            "benchmark regressed beyond --tolerance "
+                            "(the CI perf gate)")
+    bench.add_argument("--tolerance", type=float, default=25.0,
+                       metavar="PCT",
+                       help="allowed slowdown vs baseline before "
+                            "--check fails (percent; default 25)")
     bench.set_defaults(handler=_cmd_bench)
 
     kv_bench = commands.add_parser(
@@ -510,6 +697,55 @@ def build_parser() -> argparse.ArgumentParser:
                        help="re-execute a serialized reproducer and "
                             "verify the bit-for-bit replay")
     chaos.set_defaults(handler=_cmd_chaos)
+
+    monitor = commands.add_parser(
+        "monitor", help="health & SLO telemetry: suspicion scores, "
+                        "burn-rate alerts, and windowed series for a "
+                        "simulate / kv-bench / chaos run")
+    monitor.add_argument("--source", default="simulate",
+                         choices=["simulate", "kv-bench", "chaos"],
+                         help="what to attach the health monitor to: "
+                              "one register workload (simulate), the "
+                              "sharded kv harness (kv-bench), or a "
+                              "plans x seeds chaos sweep scoring "
+                              "faulty/honest separation (chaos)")
+    monitor.add_argument("--protocol", default="atomic_ns",
+                         choices=sorted(PROTOCOLS))
+    monitor.add_argument("--n", type=int, default=4)
+    monitor.add_argument("--t", type=int, default=1)
+    monitor.add_argument("--seed", type=int, default=0,
+                         help="workload seed (simulate / kv-bench)")
+    monitor.add_argument("--clients", type=int, default=2)
+    monitor.add_argument("--writes", type=int, default=6)
+    monitor.add_argument("--reads", type=int, default=6)
+    monitor.add_argument("--plan", default="none",
+                         help="builtin chaos plan for simulate / "
+                              "kv-bench (default: fault-free)")
+    monitor.add_argument("--plans", nargs="*", metavar="PLAN",
+                         default=["none", "slow-server", "boundary"],
+                         help="plans the chaos source sweeps (default: "
+                              "none slow-server boundary)")
+    monitor.add_argument("--seeds", type=int, default=1, metavar="N",
+                         help="chaos source: sweep seeds 0..N-1")
+    monitor.add_argument("--shards", type=int, default=4,
+                         help="kv-bench source: shard count")
+    monitor.add_argument("--bucket-ticks", type=int, default=32,
+                         help="time-series bucket width in logical "
+                              "ticks (default: 32)")
+    monitor.add_argument("--html", metavar="FILE", default=None,
+                         help="write a self-contained HTML health "
+                              "report")
+    monitor.add_argument("--prom", metavar="FILE", default=None,
+                         help="write Prometheus text exposition")
+    monitor.add_argument("--out", metavar="DIR", default=None,
+                         help="emit BENCH_<label>.json telemetry "
+                              "into DIR")
+    monitor.add_argument("--label", default="health",
+                         help="bench name: output file is "
+                              "BENCH_<label>.json")
+    monitor.add_argument("--smoke", action="store_true",
+                         help="tier-1 smoke: one seed, small workload")
+    monitor.set_defaults(handler=_cmd_monitor)
 
     from repro.lint.runner import add_lint_arguments
     lint = commands.add_parser(

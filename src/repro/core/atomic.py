@@ -353,13 +353,20 @@ class AtomicClient(RegisterClientBase):
             cached = memo.get(message.msg_id)
             if cached is None:
                 payload = message.payload
-                cached = (
+                well_formed = (
                     message.sender.is_server
                     and len(payload) == 5
                     and payload[0] == oid
-                    and isinstance(payload[4], Timestamp)
-                    and scheme.verify(payload[1], message.sender.index,
-                                      payload[2], payload[3]))
+                    and isinstance(payload[4], Timestamp))
+                cached = well_formed and scheme.verify(
+                    payload[1], message.sender.index,
+                    payload[2], payload[3])
+                if well_formed and not cached:
+                    # A shape-correct reply with a bad witness can only
+                    # come from a Byzantine server; the memo entry keeps
+                    # the report to once per message.
+                    self.note_verification_failure(tag, MSG_VALUE,
+                                                   message.sender)
                 memo[message.msg_id] = cached
             return cached
 

@@ -97,13 +97,20 @@ class AtomicNSServer(AtomicServer):
             cached = memo.get(message.msg_id)
             if cached is None:
                 payload = message.payload
-                cached = (message.sender.is_server
-                          and len(payload) == 2
-                          and payload[0] == oid
-                          and isinstance(payload[1], SignatureShare)
-                          and payload[1].signer == message.sender.index
-                          and scheme.verify_share(signed_message,
-                                                  payload[1]))
+                well_formed = (message.sender.is_server
+                               and len(payload) == 2
+                               and payload[0] == oid
+                               and isinstance(payload[1], SignatureShare)
+                               and payload[1].signer
+                               == message.sender.index)
+                cached = well_formed and scheme.verify_share(
+                    signed_message, payload[1])
+                if well_formed and not cached:
+                    # A shape-correct share that fails verification is a
+                    # Byzantine signal; memo keeps it once per message.
+                    self.note_verification_failure(register_tag,
+                                                   MSG_SHARE,
+                                                   message.sender)
                 memo[message.msg_id] = cached
             return cached
 

@@ -186,11 +186,16 @@ def run_kv_case(num_shards: int, n: int = 4, t: int = 1,
                 zipf_exponent: float = 1.1, seed: int = 0,
                 value_size: int = 64, plan_name: Optional[str] = None,
                 max_queue: int = 32, max_inflight_per_shard: int = 1,
-                max_attempts: int = 4) -> Tuple[KvBenchRow, KvCluster]:
+                max_attempts: int = 4,
+                monitor=None) -> Tuple[KvBenchRow, KvCluster]:
     """Run one kv-bench case and return ``(row, cluster)``.
 
     ``plan_name`` selects a builtin chaos plan (validated against
-    ``n``/``t``); ``None`` runs fault-free.
+    ``n``/``t``); ``None`` runs fault-free.  ``monitor`` (a
+    :class:`repro.obs.health.HealthMonitor`) takes the run's single
+    tracer slot when given — its wrapped recorder feeds the row's
+    traffic/phase columns and its per-shard series feed ``repro
+    monitor``.
     """
     fleet = SystemConfig(n=n, t=t, seed=seed)
     directory = KvDirectory(fleet, num_shards)
@@ -206,7 +211,10 @@ def run_kv_case(num_shards: int, n: int = 4, t: int = 1,
         server_overrides=overrides, max_queue=max_queue,
         max_inflight_per_shard=max_inflight_per_shard,
         max_attempts=max_attempts)
-    recorder = TraceRecorder().attach(cluster.simulator)
+    if monitor is not None:
+        recorder = monitor.attach(cluster.simulator).recorder
+    else:
+        recorder = TraceRecorder().attach(cluster.simulator)
     if plan is not None:
         cluster.simulator.attach_injector(FaultInjector(plan))
     workload = kv_workload(
@@ -214,6 +222,8 @@ def run_kv_case(num_shards: int, n: int = 4, t: int = 1,
         write_ratio=write_ratio, distribution=distribution,
         zipf_exponent=zipf_exponent, seed=seed, value_size=value_size)
     stats = drive(cluster, workload, seed=seed)
+    if monitor is not None:
+        monitor.finalize()
     keys_checked = check_kv_histories(cluster.sessions)
     coalesced = sum(1 for session in cluster.sessions
                     for handle in session.handles if handle.coalesced)

@@ -16,8 +16,10 @@ from typing import Dict, Tuple
 
 #: Protocol modules: the paper's actual storage/broadcast/agreement
 #: logic plus the simulator substrate it runs on.  The observability
-#: plane (``repro.obs``) is held to the same determinism bar — its only
-#: wall-clock reads live in ``repro.obs.clock`` behind explicit waivers.
+#: plane (``repro.obs``, including the health/SLO/time-series layer in
+#: ``repro.obs.health``/``slo``/``timeseries``) is held to the same
+#: determinism bar — its only wall-clock reads live in
+#: ``repro.obs.clock`` behind explicit waivers.
 PROTOCOL_PREFIXES: Tuple[str, ...] = (
     "repro.core",
     "repro.avid",

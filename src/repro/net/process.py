@@ -197,6 +197,24 @@ class Process:
         self._require_simulator().record_input(self.pid, tag, action,
                                                tuple(payload))
 
+    def note_verification_failure(self, tag: str, mtype: str,
+                                  suspect: "PartyId") -> None:
+        """Report a failed cryptographic check on traffic from ``suspect``
+        to an attached tracer.
+
+        Measurement-only: no event is logged and the clock does not
+        tick, so instrumented protocols keep byte-identical schedules.
+        A well-formed message whose commitment/signature verification
+        fails is the strongest per-server Byzantine signal the health
+        plane consumes — honest servers never produce one.
+        """
+        observer = getattr(self.simulator, "obs", None)
+        if observer is None:
+            return
+        hook = getattr(observer, "on_verify_fail", None)
+        if hook is not None:
+            hook(self.pid, suspect, tag, mtype)
+
     # -- wait-state condition builders ------------------------------------------
 
     def condition_quorum(self, tag: str, mtype: str, count: int,

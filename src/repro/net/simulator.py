@@ -141,6 +141,10 @@ class Simulator:
         #: :class:`repro.obs.recorder.TraceRecorder`).  ``None`` keeps the
         #: hot path free of tracing overhead.
         self.obs = None
+        # Optional tracer hooks, resolved once at attach time so the
+        # delivery loop pays a single None-check when they are absent.
+        self._obs_on_tick = None
+        self._obs_on_chaos = None
         #: attached fault injector (duck-typed; see
         #: :class:`repro.chaos.injector.FaultInjector`).  ``None`` keeps
         #: the hot path free of interposition overhead; an injector with
@@ -153,10 +157,17 @@ class Simulator:
         The recorder receives ``on_send`` / ``on_deliver`` /
         ``on_input`` / ``on_output`` / ``on_quorum`` callbacks; see
         :mod:`repro.obs.recorder` for the reference implementation.
+        Recorders may additionally implement ``on_tick(time)`` (called
+        after every delivery — the windowed-rollup flush hook) and
+        ``on_chaos(event)`` (called for every injected-fault event);
+        both are measurement-only and must not feed back into the
+        schedule.
         """
         if self.obs is not None:
             raise SimulationError("a tracer is already attached")
         self.obs = recorder
+        self._obs_on_tick = getattr(recorder, "on_tick", None)
+        self._obs_on_chaos = getattr(recorder, "on_chaos", None)
 
     def attach_injector(self, injector) -> None:
         """Attach a fault injector (one per run; attach before the run).
@@ -313,6 +324,8 @@ class Simulator:
         event = LocalEvent(self._tick(), party, EVENT_CHAOS, tag, action,
                            payload)
         self.event_log.append(event)
+        if self._obs_on_chaos is not None:
+            self._obs_on_chaos(event)
         return event
 
     def add_output_observer(self, observer: OutputObserver) -> None:
@@ -361,6 +374,8 @@ class Simulator:
         self._processes[message.recipient].receive(message)
         for check in self._invariants:
             check(self)
+        if self._obs_on_tick is not None:
+            self._obs_on_tick(self.time)
         return True
 
     def run(self, max_steps: int = 1_000_000) -> int:

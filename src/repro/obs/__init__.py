@@ -19,8 +19,11 @@ Modules: :mod:`~repro.obs.recorder` (causal capture),
 :mod:`~repro.obs.spans` (operation/phase spans),
 :mod:`~repro.obs.critical_path` (happens-before latency attribution),
 :mod:`~repro.obs.instruments` (counters/gauges/histograms),
-:mod:`~repro.obs.export` (Perfetto / JSONL / text),
-:mod:`~repro.obs.bench` (``BENCH_*.json`` emission), and
+:mod:`~repro.obs.timeseries` (windowed tick-bucket rollups),
+:mod:`~repro.obs.health` (per-server suspicion scoring),
+:mod:`~repro.obs.slo` (declarative objectives with burn-rate alerts),
+:mod:`~repro.obs.export` (Perfetto / JSONL / text / HTML /
+Prometheus), :mod:`~repro.obs.bench` (``BENCH_*.json`` emission), and
 :mod:`~repro.obs.clock` (the only module allowed to read wall time).
 """
 
@@ -33,13 +36,19 @@ from repro.obs.critical_path import (
     critical_path,
 )
 from repro.obs.export import (
+    export_health_html,
     export_perfetto,
+    export_prometheus,
     export_trace_jsonl,
+    health_dashboard,
     operation_breakdown_lines,
     text_report,
 )
+from repro.obs.health import DEFAULT_WEIGHTS, HealthMonitor, shard_of_tag
 from repro.obs.instruments import Counter, Gauge, Histogram, Registry
 from repro.obs.recorder import MessageRecord, QuorumRelease, TraceRecorder
+from repro.obs.slo import SloSpec, SloTracker, default_slos, evaluate_slos
+from repro.obs.timeseries import Digest, Series, TimeSeriesStore
 from repro.obs.spans import (
     KIND_OPERATION,
     KIND_PHASE,
@@ -66,10 +75,23 @@ __all__ = [
     "PathHop",
     "attribution_summary",
     "critical_path",
+    "export_health_html",
     "export_perfetto",
+    "export_prometheus",
     "export_trace_jsonl",
+    "health_dashboard",
     "operation_breakdown_lines",
     "text_report",
+    "DEFAULT_WEIGHTS",
+    "HealthMonitor",
+    "shard_of_tag",
+    "SloSpec",
+    "SloTracker",
+    "default_slos",
+    "evaluate_slos",
+    "Digest",
+    "Series",
+    "TimeSeriesStore",
     "Counter",
     "Gauge",
     "Histogram",

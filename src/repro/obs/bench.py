@@ -300,3 +300,27 @@ def compare_rows(baseline: List[Dict[str, Any]],
             "speedup": (base_us / after_us) if after_us else None,
         })
     return comparisons
+
+
+def regressions(comparisons: List[Dict[str, Any]],
+                tolerance_pct: float) -> List[Dict[str, Any]]:
+    """The comparisons whose ``after`` timing regressed beyond the
+    tolerance: ``after_us > baseline_us * (1 + tolerance_pct / 100)``.
+
+    Feeds ``repro bench --compare --check``: CI gates on an empty
+    return.  Each returned record is the comparison plus its
+    ``regression_pct`` (how far past baseline the after timing landed).
+    """
+    allowed = 1.0 + tolerance_pct / 100.0
+    flagged = []
+    for record in comparisons:
+        base_us = record["baseline_us"]
+        after_us = record["after_us"]
+        if after_us is None or not base_us:
+            continue
+        if after_us > base_us * allowed:
+            entry = dict(record)
+            entry["regression_pct"] = round(
+                (after_us / base_us - 1.0) * 100.0, 2)
+            flagged.append(entry)
+    return flagged

@@ -1,6 +1,6 @@
 """Trace exporters: Chrome/Perfetto trace-event JSON, JSONL, and text.
 
-Three views of one recorded run:
+Views of one recorded run:
 
 * :func:`export_perfetto` — the Chrome trace-event format
   (``chrome://tracing`` / https://ui.perfetto.dev): one timeline row per
@@ -13,12 +13,24 @@ Three views of one recorded run:
 * :func:`text_report` — a human-readable per-operation latency
   breakdown plus the instrument summary, printed by ``repro trace
   --format text`` and (condensed) by ``repro simulate``.
+
+Plus the health-plane renderers consumed by ``repro monitor``
+(:mod:`repro.obs.health`):
+
+* :func:`health_dashboard` — deterministic text dashboard (fleet
+  health table, SLO burn table, op latency summary, series
+  sparklines);
+* :func:`export_prometheus` — Prometheus text exposition of the same
+  state, for scraping pipelines;
+* :func:`export_health_html` — a self-contained HTML report with
+  inline-SVG sparklines (no external assets, no wall-clock
+  timestamps, so reports are byte-stable across reruns).
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, TextIO
+from typing import Any, Dict, List, TextIO, Tuple
 
 from repro.common.ids import PartyId
 from repro.obs.critical_path import attribution_summary, critical_path
@@ -234,3 +246,279 @@ def text_report(recorder: TraceRecorder) -> str:
                            if key != "type")
         lines.append(f"  {summary['type']:<9} {name:<28} {detail}")
     return "\n".join(lines)
+
+
+# -- health plane ------------------------------------------------------------
+
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def _sparkline(values: List[float]) -> str:
+    """Render a value sequence as unicode block characters (empty
+    input renders empty)."""
+    if not values:
+        return ""
+    top = max(values)
+    if top <= 0:
+        return _SPARK_BLOCKS[0] * len(values)
+    scale = len(_SPARK_BLOCKS) - 1
+    return "".join(_SPARK_BLOCKS[int(round(value / top * scale))]
+                   for value in values)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return str(int(value)) if value.is_integer() else f"{value:.3f}"
+    return str(value)
+
+
+def health_dashboard(monitor) -> str:
+    """The ``repro monitor`` text dashboard for one finished run.
+
+    Sections: fleet health (suspicion scores with per-signal
+    components), SLO burn rates with alert flags, operation latency
+    summary per op type, and a sparkline per time-series.  Output is a
+    pure function of the monitor's state — byte-identical across
+    repeated runs of the same seed.
+    """
+    monitor.finalize()
+    lines: List[str] = []
+    lines.append("== fleet health ==")
+    rows = monitor.server_health()
+    if not rows:
+        lines.append("  (no servers)")
+    else:
+        lines.append(f"  {'server':<6} {'score':>7}  "
+                     f"{'verify':>7} {'quorum':>7} {'silence':>7} "
+                     f"{'chaos':>7} {'rebcast':>7}  signals")
+        for row in rows:
+            components = row["components"]
+            signals = row["signals"]
+            detail = (f"sends={signals['sends']} "
+                      f"vfail={signals['verify_fails']} "
+                      f"qmiss={signals['quorums_missed']}/"
+                      f"{signals['quorums_missed'] + signals['quorums_present']} "
+                      f"chaos={signals['chaos_hits']} "
+                      f"rebx={signals['rebroadcast_excess']}")
+            lines.append(
+                f"  {row['server']:<6} {row['score']:>7.3f}  "
+                f"{components['verify']:>7.3f} "
+                f"{components['quorum']:>7.3f} "
+                f"{components['silence']:>7.3f} "
+                f"{components['chaos']:>7.3f} "
+                f"{components['rebroadcast']:>7.3f}  {detail}")
+    lines.append("")
+    lines.append("== slos ==")
+    report = monitor.slo_report()
+    if not report:
+        lines.append("  (none)")
+    else:
+        lines.append(f"  {'name':<16} {'objective':>9} {'good':>6} "
+                     f"{'bad':>5} {'compl':>7} {'fast':>7} {'slow':>7}  "
+                     f"alert")
+        for entry in report:
+            flag = "FIRING" if entry["alert"] else "ok"
+            lines.append(
+                f"  {entry['name']:<16} {entry['objective']:>9.4f} "
+                f"{entry['good']:>6} {entry['bad']:>5} "
+                f"{entry['compliance']:>7.4f} "
+                f"{entry['fast_burn']:>7.2f} {entry['slow_burn']:>7.2f}  "
+                f"{flag}")
+    lines.append("")
+    lines.append("== operations ==")
+    lines.append(f"  completed={monitor.ops_completed} "
+                 f"abandoned={monitor.ops_abandoned} "
+                 f"horizon={monitor.store.horizon} ticks "
+                 f"(bucket={monitor.store.bucket_ticks})")
+    for kind in ("write", "read"):
+        series = monitor.store.get(f"ops.latency[{kind}]")
+        if series is None or not len(series):
+            continue
+        span = series.last_bucket - series.first_bucket + 1
+        window = series.window(series.last_bucket, span)
+        lines.append(
+            f"  {kind:<5} n={window['count']} "
+            f"mean={window['mean']:.1f} p50={_fmt(window['p50'])} "
+            f"p99={_fmt(window['p99'])} max={_fmt(window['max'])}")
+    lines.append("")
+    lines.append("== series ==")
+    names = monitor.store.names()
+    if not names:
+        lines.append("  (none)")
+    for name in names:
+        series = monitor.store.get(name)
+        values = [value for _, value in series.values()]
+        dropped = f" (+{series.dropped_buckets} dropped)" \
+            if series.dropped_buckets else ""
+        lines.append(f"  {name:<26} {series.kind:<7} "
+                     f"total={_fmt(series.total())} "
+                     f"{_sparkline(values)}{dropped}")
+    return "\n".join(lines)
+
+
+def _prom_name(name: str) -> Tuple[str, str]:
+    """Split an instrument-style name ``base[label]`` into a
+    Prometheus-safe metric name plus label string."""
+    label = ""
+    if name.endswith("]") and "[" in name:
+        name, raw = name[:-1].split("[", 1)
+        label = raw
+    metric = "repro_" + "".join(
+        ch if ch.isalnum() else "_" for ch in name)
+    return metric, label
+
+
+def export_prometheus(monitor, stream: TextIO) -> int:
+    """Write the monitor state in Prometheus text exposition format;
+    returns the number of sample lines emitted."""
+    monitor.finalize()
+    count = 0
+
+    def emit(line: str) -> None:
+        nonlocal count
+        stream.write(line + "\n")
+        if not line.startswith("#"):
+            count += 1
+
+    emit("# TYPE repro_health_suspicion gauge")
+    for row in monitor.server_health():
+        emit(f'repro_health_suspicion{{server="{row["server"]}"}} '
+             f'{row["score"]}')
+    # The exposition format wants each metric's samples as one group
+    # directly under its own TYPE line, so iterate metric-major.
+    slo_entries = monitor.slo_report()
+    emit("# TYPE repro_slo_compliance gauge")
+    for entry in slo_entries:
+        emit(f'repro_slo_compliance{{slo="{entry["name"]}"}} '
+             f'{entry["compliance"]}')
+    emit("# TYPE repro_slo_burn_rate gauge")
+    for entry in slo_entries:
+        emit(f'repro_slo_burn_rate{{slo="{entry["name"]}",'
+             f'window="fast"}} {entry["fast_burn"]}')
+        emit(f'repro_slo_burn_rate{{slo="{entry["name"]}",'
+             f'window="slow"}} {entry["slow_burn"]}')
+    emit("# TYPE repro_slo_alert gauge")
+    for entry in slo_entries:
+        emit(f'repro_slo_alert{{slo="{entry["name"]}"}} '
+             f'{1 if entry["alert"] else 0}')
+    # ``_total`` suffix keeps the aggregates clear of the per-label
+    # ``repro_ops_completed{label=...}`` series metric below.
+    emit("# TYPE repro_ops_completed_total counter")
+    emit(f"repro_ops_completed_total {monitor.ops_completed}")
+    emit("# TYPE repro_ops_abandoned_total counter")
+    emit(f"repro_ops_abandoned_total {monitor.ops_abandoned}")
+    # Series sharing a metric name (labelled variants) must land in one
+    # group under a single TYPE line, so collect metric-major first.
+    groups: Dict[str, List[Tuple[str, Any]]] = {}
+    for name in monitor.store.names():
+        metric, label = _prom_name(name)
+        groups.setdefault(metric, []).append(
+            (label, monitor.store.get(name)))
+    for metric, entries in groups.items():
+        kind = entries[0][1].kind
+        if kind == "counter":
+            emit(f"# TYPE {metric} counter")
+        elif kind == "gauge":
+            emit(f"# TYPE {metric} gauge")
+        else:
+            emit(f"# TYPE {metric} summary")
+        for label, series in entries:
+            labels = f'{{label="{label}"}}' if label else ""
+            if series.kind == "counter":
+                emit(f"{metric}{labels} {series.total()}")
+                continue
+            span = series.last_bucket - series.first_bucket + 1
+            window = series.window(series.last_bucket, span)
+            if series.kind == "gauge":
+                emit(f"{metric}{labels} {window['last']}")
+                continue
+            base = labels[:-1] + "," if labels else "{"
+            emit(f'{metric}{base}quantile="0.5"}} {window["p50"]}')
+            emit(f'{metric}{base}quantile="0.99"}} {window["p99"]}')
+            emit(f"{metric}_count{labels} {window['count']}")
+            emit(f"{metric}_sum{labels} {window['sum']}")
+    return count
+
+
+def _svg_sparkline(values: List[float], width: int = 240,
+                   height: int = 28) -> str:
+    """An inline-SVG polyline sparkline (empty series renders an empty
+    frame)."""
+    if not values:
+        return (f'<svg width="{width}" height="{height}" '
+                f'class="spark"></svg>')
+    top = max(max(values), 1e-9)
+    step = width / max(len(values), 1)
+    points = []
+    for index, value in enumerate(values):
+        x = round(index * step + step / 2, 1)
+        y = round(height - 2 - (value / top) * (height - 4), 1)
+        points.append(f"{x},{y}")
+    return (f'<svg width="{width}" height="{height}" class="spark">'
+            f'<polyline fill="none" stroke="#2b6cb0" stroke-width="1.5" '
+            f'points="{" ".join(points)}"/></svg>')
+
+
+def export_health_html(monitor, stream: TextIO) -> None:
+    """Write a self-contained HTML health report (tables + inline-SVG
+    sparklines; no scripts, assets, or timestamps)."""
+    monitor.finalize()
+    out: List[str] = []
+    out.append("<!DOCTYPE html>")
+    out.append("<html><head><meta charset='utf-8'>"
+               "<title>repro health report</title><style>")
+    out.append("body{font-family:sans-serif;margin:24px;color:#1a202c}"
+               "table{border-collapse:collapse;margin:12px 0}"
+               "th,td{border:1px solid #cbd5e0;padding:4px 10px;"
+               "text-align:right;font-size:13px}"
+               "th{background:#edf2f7}td.l,th.l{text-align:left}"
+               ".alert{color:#c53030;font-weight:bold}"
+               ".ok{color:#2f855a}")
+    out.append("</style></head><body>")
+    out.append("<h1>repro health report</h1>")
+    out.append(f"<p>horizon {monitor.store.horizon} ticks · bucket "
+               f"{monitor.store.bucket_ticks} ticks · "
+               f"{monitor.ops_completed} ops completed · "
+               f"{monitor.ops_abandoned} abandoned</p>")
+    out.append("<h2>Fleet health</h2>")
+    out.append("<table><tr><th class='l'>server</th><th>score</th>"
+               "<th>verify</th><th>quorum</th><th>silence</th>"
+               "<th>chaos</th><th>rebroadcast</th></tr>")
+    for row in monitor.server_health():
+        components = row["components"]
+        out.append(
+            f"<tr><td class='l'>{row['server']}</td>"
+            f"<td>{row['score']:.3f}</td>"
+            f"<td>{components['verify']:.3f}</td>"
+            f"<td>{components['quorum']:.3f}</td>"
+            f"<td>{components['silence']:.3f}</td>"
+            f"<td>{components['chaos']:.3f}</td>"
+            f"<td>{components['rebroadcast']:.3f}</td></tr>")
+    out.append("</table>")
+    out.append("<h2>SLOs</h2>")
+    out.append("<table><tr><th class='l'>objective</th><th>good</th>"
+               "<th>bad</th><th>compliance</th><th>fast burn</th>"
+               "<th>slow burn</th><th>alert</th></tr>")
+    for entry in monitor.slo_report():
+        flag = "<span class='alert'>FIRING</span>" if entry["alert"] \
+            else "<span class='ok'>ok</span>"
+        out.append(
+            f"<tr><td class='l'>{entry['description']}</td>"
+            f"<td>{entry['good']}</td><td>{entry['bad']}</td>"
+            f"<td>{entry['compliance']:.4f}</td>"
+            f"<td>{entry['fast_burn']:.2f}</td>"
+            f"<td>{entry['slow_burn']:.2f}</td><td>{flag}</td></tr>")
+    out.append("</table>")
+    out.append("<h2>Time series</h2>")
+    out.append("<table><tr><th class='l'>series</th><th>kind</th>"
+               "<th>total</th><th class='l'>shape</th></tr>")
+    for name in monitor.store.names():
+        series = monitor.store.get(name)
+        values = [value for _, value in series.values()]
+        out.append(
+            f"<tr><td class='l'>{name}</td><td>{series.kind}</td>"
+            f"<td>{_fmt(series.total())}</td>"
+            f"<td class='l'>{_svg_sparkline(values)}</td></tr>")
+    out.append("</table>")
+    out.append("</body></html>")
+    stream.write("\n".join(out) + "\n")

@@ -74,10 +74,12 @@ class Histogram:
     def __init__(self, name: str):
         self.name = name
         self.values: List[float] = []
+        self._sorted: Optional[List[float]] = None
 
     def record(self, value: float) -> None:
         """Add one observation."""
         self.values.append(value)
+        self._sorted = None
 
     @property
     def count(self) -> int:
@@ -93,19 +95,25 @@ class Histogram:
 
     def percentile(self, q: float) -> float:
         """Exact ``q``-th percentile (``0 <= q <= 100``) by
-        nearest-rank; 0 for an empty histogram."""
+        nearest-rank; 0 for an empty histogram.
+
+        The sorted view is cached across calls (windowed rollups take
+        several percentiles per bucket) and invalidated by ``record``.
+        """
         if not 0 <= q <= 100:
             raise SimulationError(f"percentile {q} out of range")
         if not self.values:
             return 0.0
-        ordered = sorted(self.values)
+        if self._sorted is None:
+            self._sorted = sorted(self.values)
+        ordered = self._sorted
         rank = max(0, min(len(ordered) - 1,
                           int(round(q / 100 * (len(ordered) - 1)))))
         return ordered[rank]
 
     def summary(self) -> Dict[str, Any]:
-        """Count/sum/mean/extremes/p50/p99 as a plain JSON-exportable
-        dictionary."""
+        """Count/sum/mean/extremes/p50/p90/p99/p999 as a plain
+        JSON-exportable dictionary."""
         if not self.values:
             return {"type": "histogram", "count": 0}
         return {
@@ -116,7 +124,9 @@ class Histogram:
             "min": min(self.values),
             "max": max(self.values),
             "p50": self.percentile(50),
+            "p90": self.percentile(90),
             "p99": self.percentile(99),
+            "p999": self.percentile(99.9),
         }
 
 

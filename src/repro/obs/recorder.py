@@ -146,6 +146,14 @@ class TraceRecorder:
         self.events.append(event)
         self.registry.counter("events.output").inc()
 
+    def on_verify_fail(self, party: PartyId, suspect: PartyId, tag: str,
+                       mtype: str) -> None:
+        """Record a failed cryptographic check on traffic from
+        ``suspect`` observed at ``party`` (see
+        :meth:`repro.net.process.Process.note_verification_failure`)."""
+        self.registry.counter(f"verify.failed[{suspect}]").inc()
+        self.registry.counter(f"verify.failed.by[{mtype}]").inc()
+
     def on_quorum(self, time: int, party: PartyId, tag: str, mtype: str,
                   threshold: int, quorum_msg_ids: Tuple[int, ...],
                   releasing_msg_id: Optional[int]) -> None:

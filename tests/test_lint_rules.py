@@ -221,3 +221,22 @@ def test_determinism_scope_covers_kernel_and_common_modules():
     assert config.in_scope("determinism", "repro.common.lru")
     # The quorum/handler packs keep their protocol-only scope.
     assert not config.in_scope("quorum", "repro.erasure.reed_solomon")
+
+
+def test_determinism_scope_covers_health_plane():
+    """The health/SLO/time-series plane runs entirely on the logical
+    clock, so it is held to the protocol determinism bar; wall-clock
+    reads stay quarantined in ``repro.obs.clock`` behind its waivers."""
+    config = LintConfig()
+    for dotted in ("repro.obs.health", "repro.obs.slo",
+                   "repro.obs.timeseries", "repro.obs.export",
+                   "repro.obs.clock"):
+        assert config.in_scope("determinism", dotted)
+
+
+def test_health_plane_modules_lint_clean():
+    src = Path(__file__).resolve().parent.parent / "src" / "repro" / "obs"
+    report = run_lint(
+        [src / "health.py", src / "slo.py", src / "timeseries.py"],
+        only={"determinism", "handlers", "quorum"})
+    assert report.findings == []

@@ -347,3 +347,55 @@ def test_to_jsonable_shapes():
     assert to_jsonable(Row(4, b"abc")) == {"n": 4, "blob": {"bytes": 3}}
     assert to_jsonable((1, "x", None)) == [1, "x", None]
     assert to_jsonable({2: 3.5}) == {"2": 3.5}
+
+
+# -- critical paths under injected faults --------------------------------------
+
+def _traced_write(rules):
+    """One FIFO-scheduled write, optionally under delay rules; returns
+    the write's critical path."""
+    from repro.chaos.injector import FaultInjector
+    from repro.chaos.plan import FaultPlan, FaultRule  # noqa: F401
+    cluster = build_cluster(SystemConfig(n=4, t=1), protocol="atomic",
+                            num_clients=1, scheduler=FifoScheduler())
+    recorder = TraceRecorder().attach(cluster.simulator)
+    if rules:
+        plan = FaultPlan(name="hold", faulty=(1,), rules=rules)
+        cluster.simulator.attach_injector(FaultInjector(plan))
+    cluster.write(1, "reg", "w1", b"delayed value")
+    cluster.run()
+    spans = [span for span in build_spans(recorder)
+             if span.annotations.get("oid") == "w1"]
+    assert len(spans) == 1
+    path = critical_path(recorder, spans[0])
+    assert path is not None
+    return path
+
+
+def test_injected_delays_show_as_attributed_wait():
+    """The satellite case: a ``delay`` FaultPlan's hold must *show up*
+    in the critical-path attribution, not vanish.  Holding the traffic
+    of two servers forces the quorum to wait on released messages; the
+    telescoping decomposition stays exact, so every extra tick of the
+    slower run is attributed to some phase (here the sender-side
+    ``local`` share of the causal spine)."""
+    from repro.chaos.plan import FaultRule
+    clean = _traced_write(())
+    delayed = _traced_write((
+        FaultRule(kind="delay", party=1, limit=40, delay=150),
+        FaultRule(kind="delay", party=2, limit=40, delay=150)))
+    # exact telescoping with and without injected holds
+    assert sum(clean.attribution.values()) == clean.duration
+    assert sum(delayed.attribution.values()) == delayed.duration
+    # the hold is visible end to end ...
+    assert delayed.duration > clean.duration
+    # ... and lands in the attribution: the surplus is exactly the
+    # growth of the phase shares, dominated by the spine's wait on
+    # released messages
+    surplus = delayed.duration - clean.duration
+    growth = sum(delayed.attribution.values()) \
+        - sum(clean.attribution.values())
+    assert growth == surplus
+    assert delayed.attribution[PHASE_LOCAL] \
+        > clean.attribution[PHASE_LOCAL]
+    assert delayed.dominant_phase() == PHASE_LOCAL

@@ -1,0 +1,163 @@
+"""Windowed time-series rollups: digests, bucket math, ring eviction."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.obs import Digest, Series, TimeSeriesStore
+
+
+# -- digest --------------------------------------------------------------------
+
+def test_digest_exact_aggregates():
+    digest = Digest()
+    for value in (3, 7, 12, 200):
+        digest.record(value)
+    assert digest.count == 4
+    assert digest.total == 222
+    assert digest.min_value == 3
+    assert digest.max_value == 200
+    assert digest.mean == pytest.approx(55.5)
+
+
+def test_digest_rejects_negative():
+    with pytest.raises(SimulationError):
+        Digest().record(-1)
+
+
+def test_digest_percentile_bounds_and_accuracy():
+    digest = Digest()
+    for value in range(1, 101):
+        digest.record(value)
+    # power-of-two bins promise at most 2x relative error, clamped to
+    # the exact extremes
+    assert digest.percentile(0) == 1
+    assert digest.percentile(100) == 100
+    p50 = digest.percentile(50)
+    assert 50 <= p50 <= 100
+    with pytest.raises(SimulationError):
+        digest.percentile(101)
+
+
+def test_digest_percentile_empty_is_zero():
+    assert Digest().percentile(50) == 0.0
+
+
+def test_digest_merge_matches_combined_recording():
+    left, right, combined = Digest(), Digest(), Digest()
+    for value in (1, 5, 9):
+        left.record(value)
+        combined.record(value)
+    for value in (2, 100):
+        right.record(value)
+        combined.record(value)
+    left.merge(right)
+    assert left.summary() == combined.summary()
+
+
+def test_digest_huge_values_clamp_to_last_bin():
+    digest = Digest()
+    digest.record(2 ** 60)
+    assert digest.count == 1
+    assert digest.percentile(50) == 2 ** 60  # clamped to exact max
+
+
+# -- series bucket math --------------------------------------------------------
+
+def test_counter_buckets_partition_the_clock():
+    series = Series("ops", "counter", bucket_ticks=10, max_buckets=64)
+    for time in (0, 9, 10, 19, 20):
+        series.record(time)
+    assert series.buckets() == [(0, 2), (1, 2), (2, 1)]
+
+
+def test_bucket_edge_observation_counted_exactly_once():
+    """The satellite case: an operation *straddling* a bucket edge
+    (invoked in bucket 0, completing in bucket 1) lands exactly once,
+    in the bucket of the time passed to record — no double count, no
+    loss."""
+    series = Series("latency", "digest", bucket_ticks=32, max_buckets=8)
+    invoke, complete = 30, 34  # straddles the 32-tick edge
+    series.record(complete, complete - invoke)
+    assert len(series) == 1
+    [(bucket, summary)] = series.buckets()
+    assert bucket == complete // 32 == 1
+    assert summary["count"] == 1
+    # the boundary tick itself belongs to the *opening* bucket
+    edge = Series("edge", "counter", bucket_ticks=32, max_buckets=8)
+    edge.record(31)
+    edge.record(32)
+    assert [index for index, _ in edge.buckets()] == [0, 1]
+    assert edge.total() == 2
+
+
+def test_series_rejects_backward_time():
+    series = Series("ops", "counter", bucket_ticks=10, max_buckets=8)
+    series.record(25)
+    series.record(29)  # same bucket: fine
+    with pytest.raises(SimulationError):
+        series.record(15)
+
+
+def test_ring_eviction_bounds_memory_and_counts_drops():
+    series = Series("ops", "counter", bucket_ticks=1, max_buckets=4)
+    for time in range(10):
+        series.record(time)
+    assert len(series) == 4
+    assert series.dropped_buckets == 6
+    assert series.first_bucket == 6
+    assert series.last_bucket == 9
+
+
+def test_gauge_tracks_last_min_max():
+    series = Series("depth", "gauge", bucket_ticks=10, max_buckets=8)
+    for value in (5, 2, 9):
+        series.record(3, value)
+    [(_, summary)] = series.buckets()
+    assert summary == {"last": 9, "min": 2, "max": 9, "samples": 3}
+
+
+def test_window_is_half_open_on_the_left():
+    series = Series("ops", "counter", bucket_ticks=1, max_buckets=64)
+    for time in range(6):
+        series.record(time, 10)
+    # (end - width, end]: bucket 1 excluded, 2..5 included
+    window = series.window(end_bucket=5, width=4)
+    assert window["sum"] == 40
+    assert window["buckets"] == 4
+
+
+def test_window_merges_sparse_digest_buckets():
+    series = Series("lat", "digest", bucket_ticks=10, max_buckets=64)
+    series.record(5, 100)
+    series.record(95, 300)  # buckets 0 and 9, nothing between
+    window = series.window(end_bucket=9, width=10)
+    assert window["count"] == 2
+    assert window["min"] == 100 and window["max"] == 300
+
+
+# -- store ---------------------------------------------------------------------
+
+def test_store_name_bound_to_one_kind():
+    store = TimeSeriesStore(bucket_ticks=16)
+    store.counter("net.sent").record(3)
+    with pytest.raises(SimulationError):
+        store.gauge("net.sent")
+
+
+def test_store_horizon_advances_monotonically():
+    store = TimeSeriesStore(bucket_ticks=16)
+    store.observe_time(40)
+    store.observe_time(20)  # stale ticks never move it back
+    assert store.horizon == 40
+    assert store.horizon_bucket == 2
+
+
+def test_store_snapshot_sorted_and_json_plain():
+    import json
+    store = TimeSeriesStore(bucket_ticks=8)
+    store.gauge("b.depth").record(1, 4)
+    store.counter("a.ops").record(2)
+    store.digest("c.lat").record(3, 12)
+    snapshot = store.snapshot()
+    assert list(snapshot) == ["a.ops", "b.depth", "c.lat"]
+    json.dumps(snapshot)  # must be plain data end to end
