@@ -25,7 +25,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.chaos.injector import FaultInjector
 from repro.chaos.library import builtin_plan
@@ -40,6 +40,7 @@ from repro.config import SystemConfig
 from repro.analysis.history import HistoryRecorder
 from repro.faults.failstop import (
     FailStopMartinServer,
+    FailStopMdServer,
     FailStopNSServer,
     FailStopServer,
 )
@@ -56,6 +57,7 @@ STATUS_VIOLATION = "violation"
 FAILSTOP_SERVERS = {
     "atomic": FailStopServer,
     "atomic_ns": FailStopNSServer,
+    "atomic_md": FailStopMdServer,
     "martin": FailStopMartinServer,
 }
 
@@ -72,13 +74,22 @@ class RunSpec:
     clients: int = 2
     writes: int = 3
     reads: int = 3
+    #: erasure threshold, or ``None`` for the protocol's default
+    #: (``atomic_md`` resolves to ``t + 1`` — it requires ``k <= n - 2t``)
+    k: Optional[int] = None
+
+    def resolved_k(self) -> Optional[int]:
+        """The erasure threshold this run deploys with."""
+        if self.k is None and self.protocol == "atomic_md":
+            return self.t + 1
+        return self.k
 
     def to_json(self) -> Dict[str, Any]:
         """The spec as a plain JSON-serializable dictionary."""
         return {"protocol": self.protocol, "n": self.n, "t": self.t,
                 "seed": self.seed, "clients": self.clients,
                 "writes": self.writes, "reads": self.reads,
-                "plan": self.plan.to_json()}
+                "k": self.k, "plan": self.plan.to_json()}
 
     @classmethod
     def from_json(cls, doc: Dict[str, Any]) -> "RunSpec":
@@ -86,6 +97,7 @@ class RunSpec:
         return cls(protocol=doc["protocol"], n=doc["n"], t=doc["t"],
                    seed=doc["seed"], clients=doc["clients"],
                    writes=doc["writes"], reads=doc["reads"],
+                   k=doc.get("k"),
                    plan=FaultPlan.from_json(doc["plan"]))
 
 
@@ -141,7 +153,8 @@ def build_chaos_cluster(spec: RunSpec) -> Tuple[Cluster, FaultInjector]:
     adversarial one when present, random otherwise), fail-stop
     overrides for planned crashes, fault injector attached."""
     spec.plan.validate(spec.n, spec.t)
-    config = SystemConfig(n=spec.n, t=spec.t, seed=spec.seed)
+    config = SystemConfig(n=spec.n, t=spec.t, k=spec.resolved_k(),
+                          seed=spec.seed)
     if spec.plan.scheduler is not None:
         scheduler = spec.plan.scheduler.build(spec.seed)
     else:

@@ -51,6 +51,7 @@ from repro.obs import (
     text_report,
 )
 from repro.workloads.generator import random_workload, run_workload
+from repro.workloads.kv import DEFAULT_SHIFT_EVERY, DISTRIBUTIONS
 
 _EXPERIMENTS = {
     "t1": "comparison_table",
@@ -74,7 +75,12 @@ _EXPERIMENTS = {
 def _traced_run(args: argparse.Namespace) -> tuple:
     """Build a cluster with a tracer attached, run the random workload,
     and return ``(cluster, recorder)``."""
-    config = SystemConfig(n=args.n, t=args.t, k=args.k,
+    k = args.k
+    if k is None and args.protocol == "atomic_md":
+        # the metadata/data separation needs k <= n - 2t; mirror the
+        # campaign/kv-bench default rather than rejecting the run
+        k = args.t + 1
+    config = SystemConfig(n=args.n, t=args.t, k=k,
                           commitment=args.commitment, seed=args.seed)
     cluster = build_cluster(config, protocol=args.protocol,
                             num_clients=args.clients,
@@ -235,12 +241,49 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_kv_md_compare(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.kv.bench import run_kv_md_comparison
+    from repro.obs.bench import emit_bench
+
+    overrides = ({"sessions": 2, "keys": 8, "ops": 24, "value_size": 32}
+                 if args.smoke else
+                 {"sessions": args.sessions, "keys": args.keys,
+                  "ops": args.ops, "value_size": args.value_size})
+    payload = run_kv_md_comparison(
+        write_ratio=args.write_ratio, distribution=args.distribution,
+        zipf_exponent=args.zipf_exponent, seed=args.seed,
+        shift_every=args.shift_every, **overrides)
+    print(f"{'n':>3} {'t':>2} {'protocol':<10} {'plan':<18} "
+          f"{'ops/tick':>9} {'lin':>4} {'rd md B':>9} {'rd data B':>9} "
+          f"{'fetches':>7} {'miss':>5} {'vfail':>5}")
+    for row in payload["rows"]:
+        print(f"{row['n']:>3} {row['t']:>2} {row['protocol']:<10} "
+              f"{row['plan'] or '-':<18} {row['ops_per_tick']:>9.4f} "
+              f"{'ok' if row['linearizable'] else 'FAIL':>4} "
+              f"{row['read_metadata_bytes']:>9} "
+              f"{row['read_data_bytes']:>9} {row['block_fetches']:>7} "
+              f"{row['block_misses']:>5} {row['verify_failures']:>5}")
+    for entry in payload["summary"]:
+        print(f"\nn={entry['n']} t={entry['t']}: atomic_md reads move "
+              f"{entry['read_data_bytes_ratio']:.2f}x fewer data-plane "
+              f"bytes than atomic_ns")
+    if args.out:
+        path = emit_bench(args.label, payload,
+                          directory=Path(args.out))
+        print(f"wrote {path}")
+    return 0
+
+
 def _cmd_kv_bench(args: argparse.Namespace) -> int:
     import json
 
     from repro.kv.bench import run_kv_bench
     from repro.obs.bench import emit_bench
 
+    if args.md_compare:
+        return _cmd_kv_md_compare(args)
     if args.smoke:
         shard_counts = [1, 2]
         overrides = {"sessions": 2, "keys": 8, "ops": 24,
@@ -254,15 +297,20 @@ def _cmd_kv_bench(args: argparse.Namespace) -> int:
     payload = run_kv_bench(
         shard_counts, n=args.n, t=args.t, protocol=args.protocol,
         write_ratio=args.write_ratio, distribution=args.distribution,
-        seed=args.seed, chaos_plan=chaos_plan, **overrides)
+        zipf_exponent=args.zipf_exponent, seed=args.seed,
+        chaos_plan=chaos_plan, shard_k=args.shard_k,
+        shift_every=args.shift_every, **overrides)
     print(f"{'shards':>6} {'plan':<10} {'ops/tick':>9} {'ticks':>7} "
-          f"{'batch':>6} {'retries':>7} {'bp':>4} {'lin':>4}")
+          f"{'batch':>6} {'retries':>7} {'bp':>4} {'lin':>4} "
+          f"{'md B':>9} {'data B':>9} {'rd data B':>9}")
     for row in payload["rows"]:
         print(f"{row['shards']:>6} {row['plan'] or '-':<10} "
               f"{row['ops_per_tick']:>9.4f} {row['ticks']:>7} "
               f"{row['batch_factor']:>6.2f} {row['retries']:>7} "
               f"{row['backpressure_hits']:>4} "
-              f"{'ok' if row['linearizable'] else 'FAIL':>4}")
+              f"{'ok' if row['linearizable'] else 'FAIL':>4} "
+              f"{row['metadata_bytes']:>9} {row['data_bytes']:>9} "
+              f"{row['read_data_bytes']:>9}")
     fault_free = [row for row in payload["rows"] if row["plan"] is None]
     if len(fault_free) >= 2:
         first, last = fault_free[0], fault_free[-1]
@@ -636,7 +684,15 @@ def build_parser() -> argparse.ArgumentParser:
     kv_bench.add_argument("--ops", type=int, default=96)
     kv_bench.add_argument("--write-ratio", type=float, default=0.5)
     kv_bench.add_argument("--distribution", default="zipf",
-                          choices=["zipf", "uniform"])
+                          choices=list(DISTRIBUTIONS))
+    kv_bench.add_argument("--zipf-exponent", type=float, default=1.1)
+    kv_bench.add_argument("--shift-every", type=int,
+                          default=DEFAULT_SHIFT_EVERY,
+                          help="ops between hot-set rotations under "
+                               "--distribution zipf-shift")
+    kv_bench.add_argument("--shard-k", type=int, default=None,
+                          help="per-shard erasure threshold k (default: "
+                               "protocol default; atomic_md picks t+1)")
     kv_bench.add_argument("--value-size", type=int, default=64)
     kv_bench.add_argument("--seed", type=int, default=0)
     kv_bench.add_argument("--plan", default="delays",
@@ -648,6 +704,12 @@ def build_parser() -> argparse.ArgumentParser:
     kv_bench.add_argument("--smoke", action="store_true",
                           help="tier-1 smoke: n=4, shards 1,2, small "
                                "workload")
+    kv_bench.add_argument("--md-compare", action="store_true",
+                          help="head-to-head atomic_ns vs atomic_md at "
+                               "n=4/t=1 and n=7/t=2 plus a Byzantine "
+                               "corrupt-block case (the "
+                               "BENCH_kv_md.json payload); --shards/"
+                               "--protocol/--plan are ignored")
     kv_bench.add_argument("--label", default="kv",
                           help="bench name: output file is "
                                "BENCH_<label>.json")

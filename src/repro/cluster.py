@@ -21,6 +21,7 @@ from repro.common.errors import ConfigurationError, LivenessError
 from repro.common.ids import PartyId, client_id, server_id
 from repro.config import SystemConfig
 from repro.core.atomic import AtomicClient, AtomicServer
+from repro.core.atomic_md import AtomicMdClient, AtomicMdServer
 from repro.core.atomic_ns import AtomicNSClient, AtomicNSServer
 from repro.core.no_listeners import NoListenersClient, NoListenersServer
 from repro.core.register import OperationHandle
@@ -32,6 +33,10 @@ from repro.net.simulator import Simulator
 PROTOCOLS = {
     "atomic": (AtomicServer, AtomicClient),
     "atomic_ns": (AtomicNSServer, AtomicNSClient),
+    # Metadata/data separation (MDStore-style): tiny metadata quorums,
+    # blocks pushed point-to-point and read from only k servers.
+    # Requires k <= n - 2t (use SystemConfig(n, t, k=t + 1)).
+    "atomic_md": (AtomicMdServer, AtomicMdClient),
     "martin": (MartinServer, MartinClient),
     "bazzi_ding": (BazziDingServer, BazziDingClient),
     "goodson": (GoodsonServer, GoodsonClient),

@@ -16,6 +16,11 @@ from repro.baselines.martin import MartinServer
 from repro.common.ids import PartyId
 from repro.config import SystemConfig
 from repro.core.atomic import MSG_VALUE, AtomicServer, _RegisterState
+from repro.core.atomic_md import (
+    MSG_BLOCK,
+    MSG_BLOCK_MISS,
+    AtomicMdServer,
+)
 from repro.core.atomic_ns import AtomicNSServer
 from repro.core.timestamps import INITIAL_TIMESTAMP, Timestamp
 from repro.net.message import Message
@@ -117,6 +122,53 @@ class StaleReaderServer(AtomicServer):
         self.send(message.sender, message.tag, MSG_VALUE, oid, commitment,
                   blocks[index - 1], witnesses[index - 1],
                   INITIAL_TIMESTAMP)
+
+
+class CorruptBlockMdServer(AtomicMdServer):
+    """AtomicMd server whose data plane serves corrupted blocks.
+
+    Metadata behaviour stays honest (it joins quorums and keeps reads
+    live), but every ``md-get-block`` answer flips the block's bytes, so
+    the reader's verification against the quorum-agreed cross-checksum
+    fails and the read must escalate to another agreeing server.  With
+    ``k <= n - 2t`` honest servers inside every agreeing quorum, reads
+    still terminate with the correct value.
+    """
+
+    def _on_get_block(self, message: Message) -> None:
+        if len(message.payload) != 2:
+            return
+        oid, timestamp = message.payload
+        if not isinstance(oid, str) or not isinstance(timestamp, Timestamp):
+            return
+        state = self.register_state(message.tag)
+        entry = state.history.get(timestamp)
+        if entry is None:
+            self.send(message.sender, message.tag, MSG_BLOCK_MISS, oid,
+                      timestamp)
+            return
+        _, block, witness = entry
+        corrupted = bytes(byte ^ 0xFF for byte in block) or b"\x00"
+        self.send(message.sender, message.tag, MSG_BLOCK, oid, timestamp,
+                  corrupted, witness)
+
+
+class MissingBlockMdServer(AtomicMdServer):
+    """AtomicMd server that claims every block was evicted.
+
+    Pure omission on the data plane: each ``md-get-block`` is answered
+    with ``md-block-miss``, exercising the reader's miss-triggered
+    escalation path rather than the verification-failure path.
+    """
+
+    def _on_get_block(self, message: Message) -> None:
+        if len(message.payload) != 2:
+            return
+        oid, timestamp = message.payload
+        if not isinstance(oid, str) or not isinstance(timestamp, Timestamp):
+            return
+        self.send(message.sender, message.tag, MSG_BLOCK_MISS, oid,
+                  timestamp)
 
 
 class AvidSpammerServer(AtomicServer):

@@ -29,6 +29,7 @@ from repro.common.errors import ConfigurationError
 from repro.common.ids import PartyId
 from repro.config import SystemConfig
 from repro.core.atomic import AtomicServer
+from repro.core.atomic_md import AtomicMdServer
 from repro.core.atomic_ns import AtomicNSServer
 from repro.net.message import Message
 
@@ -127,6 +128,23 @@ class FailStopServer(_FailStopMixin, AtomicServer):
 
 class FailStopNSServer(_FailStopMixin, AtomicNSServer):
     """Protocol AtomicNS server that crashes after N deliveries."""
+
+    def __init__(self, pid: PartyId, config: SystemConfig,
+                 initial_value: bytes = b"", crash_after: int = 0,
+                 recover_after=None, trigger: str = "messages"):
+        super().__init__(pid, config, initial_value)
+        self._init_failstop(crash_after, recover_after=recover_after,
+                            trigger=trigger)
+
+
+class FailStopMdServer(_FailStopMixin, AtomicMdServer):
+    """Protocol AtomicMd server that crashes after N deliveries.
+
+    Crashing an AtomicMd server downs both of its planes at once: it
+    stops joining metadata quorums *and* stops serving blocks, so
+    readers that had counted it among their ``k`` data-plane targets
+    must escalate to another agreeing server.
+    """
 
     def __init__(self, pid: PartyId, config: SystemConfig,
                  initial_value: bytes = b"", crash_after: int = 0,

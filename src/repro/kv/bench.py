@@ -14,6 +14,10 @@ builtin chaos plan, and reports:
   quorum waits, retrieval), summed per phase across all operations.
 * **per-key linearizability** — every key's completed history must
   pass :func:`repro.analysis.linearizability.check_atomicity`.
+* **plane split** — wire bytes divided metadata-plane vs data-plane
+  (:mod:`repro.obs.planes`), whole-run and attributed to reads alone,
+  which is the column the ``atomic_md`` metadata/data separation is
+  judged on.
 
 A *bench* sweeps shard counts (and one chaos case) and emits a
 ``BENCH_*.json`` payload via :func:`repro.obs.emit_bench`.
@@ -25,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.linearizability import (
+    KIND_READ,
     KIND_WRITE,
     HistoryOp,
     check_atomicity,
@@ -33,10 +38,17 @@ from repro.chaos.library import builtin_plan
 from repro.chaos.injector import FaultInjector
 from repro.chaos.plan import FaultPlan
 from repro.cluster import PROTOCOLS
+from repro.common.errors import ConfigurationError
 from repro.config import SystemConfig
+from repro.core.atomic_md import MSG_BLOCK_MISS, MSG_GET_BLOCK
+from repro.faults.byzantine_servers import (
+    CorruptBlockMdServer,
+    MissingBlockMdServer,
+)
 from repro.kv.cluster import (
     FailStopKvServer,
     KvCluster,
+    KvServer,
     build_kv_cluster,
     drive,
 )
@@ -44,11 +56,24 @@ from repro.kv.directory import KvDirectory
 from repro.kv.envelope import KV_TAG
 from repro.kv.session import KvSession
 from repro.net.schedulers import RandomScheduler, Scheduler
-from repro.obs import TraceRecorder, build_spans
-from repro.workloads.kv import kv_workload
+from repro.obs import (
+    TraceRecorder,
+    build_spans,
+    operation_plane_traffic,
+    plane_traffic,
+)
+from repro.workloads.kv import DEFAULT_SHIFT_EVERY, kv_workload
 
 #: Prefix distinguishing kv operation spans from other traffic.
 _KV_SPAN_PREFIX = "kv.s"
+
+#: Byzantine data-plane cases ``run_kv_case(byzantine=...)`` accepts:
+#: one fleet server serves corrupted blocks / claims universal misses,
+#: so AtomicMd readers must escalate while metadata quorums stay live.
+BYZANTINE_MD_SERVERS = {
+    "corrupt-block": CorruptBlockMdServer,
+    "missing-block": MissingBlockMdServer,
+}
 
 
 @dataclass
@@ -73,6 +98,25 @@ class KvBenchRow:
     coalesced: int
     keys_checked: int
     linearizable: bool
+    #: whole-run wire bytes split by plane (envelopes excluded)
+    metadata_bytes: int = 0
+    data_bytes: int = 0
+    #: plane split attributed to completed reads only — the column the
+    #: metadata/data separation is judged on (a read should touch ``k``
+    #: blocks, not ``n``)
+    read_metadata_bytes: int = 0
+    read_data_bytes: int = 0
+    #: completed read operations, and AtomicMd data-plane activity:
+    #: ``md-get-block`` requests sent and ``md-block-miss`` replies.
+    #: Fault-free, ``block_fetches == k * reads`` per md read; anything
+    #: beyond that (or any miss) means the reader escalated past its
+    #: first ``k`` data-plane targets.
+    reads_completed: int = 0
+    block_fetches: int = 0
+    block_misses: int = 0
+    #: failed cryptographic checks observed anywhere in the run — a
+    #: Byzantine block server shows up here, never in ``block_misses``
+    verify_failures: int = 0
     phase_ticks: Dict[str, int] = field(default_factory=dict)
 
     def to_json(self) -> Dict[str, Any]:
@@ -92,6 +136,14 @@ class KvBenchRow:
             "coalesced": self.coalesced,
             "keys_checked": self.keys_checked,
             "linearizable": self.linearizable,
+            "metadata_bytes": self.metadata_bytes,
+            "data_bytes": self.data_bytes,
+            "read_metadata_bytes": self.read_metadata_bytes,
+            "read_data_bytes": self.read_data_bytes,
+            "reads_completed": self.reads_completed,
+            "block_fetches": self.block_fetches,
+            "block_misses": self.block_misses,
+            "verify_failures": self.verify_failures,
             "phase_ticks": {name: self.phase_ticks[name]
                             for name in sorted(self.phase_ticks)},
         }
@@ -186,8 +238,12 @@ def run_kv_case(num_shards: int, n: int = 4, t: int = 1,
                 zipf_exponent: float = 1.1, seed: int = 0,
                 value_size: int = 64, plan_name: Optional[str] = None,
                 max_queue: int = 32, max_inflight_per_shard: int = 1,
-                max_attempts: int = 4,
-                monitor=None) -> Tuple[KvBenchRow, KvCluster]:
+                max_attempts: int = 4, monitor=None,
+                shard_k: Optional[int] = None,
+                protocol_overrides: Optional[Dict[int, str]] = None,
+                shift_every: int = DEFAULT_SHIFT_EVERY,
+                byzantine: Optional[str] = None
+                ) -> Tuple[KvBenchRow, KvCluster]:
     """Run one kv-bench case and return ``(row, cluster)``.
 
     ``plan_name`` selects a builtin chaos plan (validated against
@@ -196,15 +252,51 @@ def run_kv_case(num_shards: int, n: int = 4, t: int = 1,
     tracer slot when given — its wrapped recorder feeds the row's
     traffic/phase columns and its per-shard series feed ``repro
     monitor``.
+
+    ``protocol_overrides`` pins individual shards to other protocols
+    (``{shard_id: name}``); ``shard_k`` pins every shard's erasure
+    threshold.  When any shard runs ``atomic_md`` and ``shard_k`` is
+    unset, ``k = t + 1`` is chosen automatically — the metadata/data
+    separation requires ``k <= n - 2t``, and ``t + 1`` is valid for
+    every protocol, so mixed-protocol deployments stay comparable.
+
+    ``byzantine`` (``atomic_md`` only) makes the last fleet server run
+    one of :data:`BYZANTINE_MD_SERVERS` — a within-budget Byzantine
+    data plane (corrupted blocks or universal misses) that forces every
+    read touching it to escalate past its first ``k`` fetch targets.
+    The row's ``plan`` column reads ``byz-<name>`` so the case never
+    counts as fault-free.
     """
+    overrides_by_shard = dict(protocol_overrides or {})
+    if shard_k is None and (
+            protocol == "atomic_md"
+            or "atomic_md" in overrides_by_shard.values()):
+        shard_k = t + 1
     fleet = SystemConfig(n=n, t=t, seed=seed)
-    directory = KvDirectory(fleet, num_shards)
+    directory = KvDirectory(fleet, num_shards, shard_k=shard_k,
+                            protocol_overrides=overrides_by_shard)
     plan = None
     overrides = None
     if plan_name is not None:
         plan = builtin_plan(plan_name, n, t, seed=seed)
         plan.validate(n, t)
         overrides = _chaos_overrides(plan, PROTOCOLS[protocol][0])
+    if byzantine is not None:
+        if protocol != "atomic_md":
+            raise ConfigurationError(
+                f"byzantine={byzantine!r} requires protocol "
+                f"'atomic_md', got {protocol!r}")
+        byz_cls = BYZANTINE_MD_SERVERS.get(byzantine)
+        if byz_cls is None:
+            raise ConfigurationError(
+                f"unknown byzantine case {byzantine!r}; choose from "
+                f"{sorted(BYZANTINE_MD_SERVERS)}")
+        overrides = dict(overrides or {})
+        # The last fleet server is the conventional faulty designate
+        # (matching the builtin chaos plans); a crash override for the
+        # same index would mask the Byzantine behaviour, so it wins.
+        overrides[n] = (lambda pid, directory: KvServer(
+            pid, directory, server_cls=byz_cls))
     cluster = build_kv_cluster(
         directory, protocol=protocol, num_sessions=sessions,
         scheduler=_scheduler_for(plan, seed),
@@ -220,17 +312,36 @@ def run_kv_case(num_shards: int, n: int = 4, t: int = 1,
     workload = kv_workload(
         num_sessions=sessions, num_keys=keys, ops=ops,
         write_ratio=write_ratio, distribution=distribution,
-        zipf_exponent=zipf_exponent, seed=seed, value_size=value_size)
+        zipf_exponent=zipf_exponent, seed=seed, value_size=value_size,
+        shift_every=shift_every)
     stats = drive(cluster, workload, seed=seed)
     if monitor is not None:
         monitor.finalize()
     keys_checked = check_kv_histories(cluster.sessions)
     coalesced = sum(1 for session in cluster.sessions
                     for handle in session.handles if handle.coalesced)
+    reads_completed = sum(1 for session in cluster.sessions
+                          for handle in session.handles
+                          if handle.kind == KIND_READ and handle.done)
     ticks = cluster.simulator.time
     envelopes, inner, wire_bytes = _traffic(recorder)
+    block_fetches = sum(1 for record in recorder.messages.values()
+                        if record.mtype == MSG_GET_BLOCK)
+    block_misses = sum(1 for record in recorder.messages.values()
+                       if record.mtype == MSG_BLOCK_MISS)
+    verify_failures = sum(
+        summary["value"]
+        for name, summary in recorder.registry.snapshot().items()
+        if name.startswith("verify.failed.by["))
+    planes = plane_traffic(recorder)
+    read_planes = operation_plane_traffic(recorder)["read"]
+    case_label = plan_name
+    if byzantine is not None:
+        byz_label = f"byz-{byzantine}"
+        case_label = (byz_label if plan_name is None
+                      else f"{plan_name}+{byz_label}")
     row = KvBenchRow(
-        shards=num_shards, protocol=protocol, plan=plan_name,
+        shards=num_shards, protocol=protocol, plan=case_label,
         sessions=sessions, keys=keys, ops=ops,
         completed=stats["completed"], ticks=ticks,
         ops_per_tick=stats["completed"] / ticks if ticks else 0.0,
@@ -241,6 +352,13 @@ def run_kv_case(num_shards: int, n: int = 4, t: int = 1,
         backpressure_hits=stats["backpressure_hits"],
         coalesced=coalesced, keys_checked=keys_checked,
         linearizable=True,
+        metadata_bytes=planes.metadata_bytes,
+        data_bytes=planes.data_bytes,
+        read_metadata_bytes=read_planes.metadata_bytes,
+        read_data_bytes=read_planes.data_bytes,
+        reads_completed=reads_completed,
+        block_fetches=block_fetches, block_misses=block_misses,
+        verify_failures=verify_failures,
         phase_ticks=_phase_attribution(recorder))
     return row, cluster
 
@@ -249,8 +367,11 @@ def run_kv_bench(shard_counts: Sequence[int], n: int = 4, t: int = 1,
                  protocol: str = "atomic", sessions: int = 4,
                  keys: int = 32, ops: int = 96,
                  write_ratio: float = 0.5, distribution: str = "zipf",
-                 seed: int = 0, value_size: int = 64,
-                 chaos_plan: Optional[str] = "delays"
+                 zipf_exponent: float = 1.1, seed: int = 0,
+                 value_size: int = 64,
+                 chaos_plan: Optional[str] = "delays",
+                 shard_k: Optional[int] = None,
+                 shift_every: int = DEFAULT_SHIFT_EVERY
                  ) -> Dict[str, Any]:
     """Sweep shard counts (plus one chaos case) and build the payload.
 
@@ -263,20 +384,98 @@ def run_kv_bench(shard_counts: Sequence[int], n: int = 4, t: int = 1,
         row, _cluster = run_kv_case(
             shards, n=n, t=t, protocol=protocol, sessions=sessions,
             keys=keys, ops=ops, write_ratio=write_ratio,
-            distribution=distribution, seed=seed, value_size=value_size)
+            distribution=distribution, zipf_exponent=zipf_exponent,
+            seed=seed, value_size=value_size, shard_k=shard_k,
+            shift_every=shift_every)
         rows.append(row)
     if chaos_plan is not None and shard_counts:
         row, _cluster = run_kv_case(
             max(shard_counts), n=n, t=t, protocol=protocol,
             sessions=sessions, keys=keys, ops=ops,
             write_ratio=write_ratio, distribution=distribution,
-            seed=seed, value_size=value_size, plan_name=chaos_plan)
+            zipf_exponent=zipf_exponent, seed=seed,
+            value_size=value_size, plan_name=chaos_plan,
+            shard_k=shard_k, shift_every=shift_every)
         rows.append(row)
     return {
         "config": {"n": n, "t": t, "protocol": protocol,
                    "sessions": sessions, "keys": keys, "ops": ops,
                    "write_ratio": write_ratio,
-                   "distribution": distribution, "seed": seed,
-                   "value_size": value_size, "chaos_plan": chaos_plan},
+                   "distribution": distribution,
+                   "zipf_exponent": zipf_exponent, "seed": seed,
+                   "value_size": value_size, "chaos_plan": chaos_plan,
+                   "shard_k": shard_k, "shift_every": shift_every},
         "rows": [row.to_json() for row in rows],
+    }
+
+
+def run_kv_md_comparison(deployments: Sequence[Tuple[int, int]] = (
+                             (4, 1), (7, 2)),
+                         num_shards: int = 4, sessions: int = 4,
+                         keys: int = 32, ops: int = 96,
+                         write_ratio: float = 0.1,
+                         distribution: str = "zipf-shift",
+                         zipf_exponent: float = 1.1, seed: int = 0,
+                         value_size: int = 64,
+                         shift_every: int = DEFAULT_SHIFT_EVERY,
+                         byzantine: Optional[str] = "corrupt-block"
+                         ) -> Dict[str, Any]:
+    """Head-to-head ``atomic_ns`` vs ``atomic_md`` on one workload.
+
+    The payload behind ``benchmarks/BENCH_kv_md.json``: for each
+    ``(n, t)`` deployment both protocols run the *same* read-mostly
+    drifting-hot-set workload at their canonical erasure thresholds
+    (``k = n - t`` for atomic_ns, ``k = t + 1`` for atomic_md), and the
+    summary reports the read-attributed data-plane byte ratio — the
+    number the metadata/data separation is judged on.  A final
+    ``byzantine`` case re-runs atomic_md at the largest deployment with
+    one corrupt-data-plane server, pinning that reads escalate (and
+    still linearize) when their first ``k`` fetch targets misbehave.
+    """
+    rows: List[Dict[str, Any]] = []
+    for n, t in deployments:
+        for protocol in ("atomic_ns", "atomic_md"):
+            row, _cluster = run_kv_case(
+                num_shards, n=n, t=t, protocol=protocol,
+                sessions=sessions, keys=keys, ops=ops,
+                write_ratio=write_ratio, distribution=distribution,
+                zipf_exponent=zipf_exponent, seed=seed,
+                value_size=value_size, shift_every=shift_every)
+            rows.append({"n": n, "t": t, **row.to_json()})
+    if byzantine is not None:
+        n, t = deployments[-1]
+        row, _cluster = run_kv_case(
+            num_shards, n=n, t=t, protocol="atomic_md",
+            sessions=sessions, keys=keys, ops=ops,
+            write_ratio=write_ratio, distribution=distribution,
+            zipf_exponent=zipf_exponent, seed=seed,
+            value_size=value_size, shift_every=shift_every,
+            byzantine=byzantine)
+        rows.append({"n": n, "t": t, **row.to_json()})
+    summary = []
+    for n, t in deployments:
+        pair = {}
+        for row in rows:
+            if (row["n"], row["t"]) == (n, t) and "byz" not in (
+                    row["plan"] or ""):
+                pair[row["protocol"]] = row
+        ns_bytes = pair["atomic_ns"]["read_data_bytes"]
+        md_bytes = pair["atomic_md"]["read_data_bytes"]
+        summary.append({
+            "n": n, "t": t,
+            "read_data_bytes_atomic_ns": ns_bytes,
+            "read_data_bytes_atomic_md": md_bytes,
+            "read_data_bytes_ratio": round(
+                ns_bytes / md_bytes, 3) if md_bytes else 0.0,
+        })
+    return {
+        "config": {"deployments": [list(pair) for pair in deployments],
+                   "num_shards": num_shards, "sessions": sessions,
+                   "keys": keys, "ops": ops, "write_ratio": write_ratio,
+                   "distribution": distribution,
+                   "zipf_exponent": zipf_exponent, "seed": seed,
+                   "value_size": value_size,
+                   "shift_every": shift_every, "byzantine": byzantine},
+        "rows": rows,
+        "summary": summary,
     }

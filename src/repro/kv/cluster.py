@@ -99,7 +99,9 @@ def build_kv_cluster(directory: KvDirectory, protocol: str = "atomic",
 
     ``server_overrides`` maps 1-based fleet server indices to factories
     (used by chaos harnesses to substitute fail-stop hosts).  The inner
-    protocol comes from :data:`repro.cluster.PROTOCOLS`.
+    protocol comes from :data:`repro.cluster.PROTOCOLS`; shards whose
+    :class:`~repro.kv.directory.ShardSpec` carries a ``protocol``
+    override materialise that protocol instead of the cluster default.
     """
     if protocol not in PROTOCOLS:
         raise ConfigurationError(

@@ -54,6 +54,9 @@ class ShardSpec:
     shard_id: int
     placement: Tuple[int, ...]
     config: SystemConfig
+    #: Protocol name this shard runs (``repro.cluster.PROTOCOLS`` key),
+    #: or ``None`` to use whatever the hosting cluster was built with.
+    protocol: Optional[str] = None
     _local_by_fleet: Dict[int, int] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
@@ -84,13 +87,29 @@ class KvDirectory:
     a shard cannot recruit more servers than the fleet has, and must
     tolerate at least the fleet's corruption bound ``t`` (any ``t``
     fleet-level faults could all land inside one shard's placement).
+
+    ``shard_k`` pins every shard's erasure threshold (metadata/data-
+    separated shards need ``k <= n - 2t``, canonically ``t + 1``, which
+    every protocol accepts); ``protocol_overrides`` maps shard ids to
+    protocol names so one deployment can run different shards under
+    different protocols — unset shards follow the hosting cluster's
+    default.
     """
 
     def __init__(self, fleet_config: SystemConfig, num_shards: int,
                  shard_n: Optional[int] = None,
-                 shard_t: Optional[int] = None) -> None:
+                 shard_t: Optional[int] = None,
+                 shard_k: Optional[int] = None,
+                 protocol_overrides: Optional[Dict[int, str]] = None
+                 ) -> None:
         if num_shards < 1:
             raise ConfigurationError("num_shards must be >= 1")
+        protocol_overrides = dict(protocol_overrides or {})
+        for shard_id in protocol_overrides:
+            if not 0 <= shard_id < num_shards:
+                raise ConfigurationError(
+                    f"protocol override for shard {shard_id} out of "
+                    f"range [0, {num_shards})")
         shard_n = fleet_config.n if shard_n is None else shard_n
         shard_t = fleet_config.t if shard_t is None else shard_t
         if shard_n > fleet_config.n:
@@ -108,10 +127,15 @@ class KvDirectory:
         self.shard_n = shard_n
         self.shard_t = shard_t
         fleet_n = fleet_config.n
-        # The fleet's resolved k only transfers when the shard shares the
-        # fleet's (n, t); shrunken shards re-derive their own default.
-        same_shape = (shard_n == fleet_config.n and shard_t == fleet_config.t)
-        shard_k = fleet_config.k if same_shape else None
+        if shard_k is None:
+            # The fleet's resolved k only transfers when the shard shares
+            # the fleet's (n, t); shrunken shards re-derive their own
+            # default.  An explicit shard_k (e.g. ``t + 1`` for
+            # metadata/data-separated shards) wins over both.
+            same_shape = (shard_n == fleet_config.n
+                          and shard_t == fleet_config.t)
+            shard_k = fleet_config.k if same_shape else None
+        self.shard_k = shard_k
         shards = []
         for shard_id in range(num_shards):
             placement = tuple(((shard_id + offset) % fleet_n) + 1
@@ -121,7 +145,9 @@ class KvDirectory:
                 commitment=fleet_config.commitment,
                 threshold_backend=fleet_config.threshold_backend,
                 seed=fleet_config.seed + shard_id)
-            shards.append(ShardSpec(shard_id, placement, config))
+            shards.append(ShardSpec(
+                shard_id, placement, config,
+                protocol=protocol_overrides.get(shard_id)))
         self._shards: Tuple[ShardSpec, ...] = tuple(shards)
 
     def shard(self, shard_id: int) -> ShardSpec:

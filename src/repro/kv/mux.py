@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple, Type
 
+from repro.common.errors import ConfigurationError
 from repro.common.ids import PartyId, server_id
 from repro.core.atomic import AtomicClient, AtomicServer
 from repro.core.register import RegisterClientBase
@@ -34,6 +35,24 @@ from repro.kv.directory import KvDirectory, ShardSpec
 from repro.kv.envelope import KV_TAG, MSG_KV_BATCH, KvEntry
 from repro.net.message import Message
 from repro.net.process import Process
+
+
+def _shard_classes(spec: ShardSpec) -> Optional[Tuple[type, type]]:
+    """The (server, client) classes a shard's ``protocol`` override
+    names, or ``None`` when the shard follows the cluster default.
+
+    Resolved lazily against :data:`repro.cluster.PROTOCOLS` (imported
+    here, not at module scope: the cluster facade is a higher layer).
+    """
+    if spec.protocol is None:
+        return None
+    from repro.cluster import PROTOCOLS
+    classes = PROTOCOLS.get(spec.protocol)
+    if classes is None:
+        raise ConfigurationError(
+            f"shard {spec.shard_id} names unknown protocol "
+            f"{spec.protocol!r}; choose from {sorted(PROTOCOLS)}")
+    return classes
 
 
 class ShardBus:
@@ -217,7 +236,9 @@ class KvServer(_KvMuxProcess):
 
     Shard state materialises on first contact: a fleet of 4 servers can
     advertise hundreds of shards while only paying for the ones traffic
-    actually reaches.
+    actually reaches.  ``server_cls`` is the default inner class; a
+    shard whose spec names a ``protocol`` override materialises that
+    protocol's server instead.
     """
 
     def __init__(self, pid: PartyId, directory: KvDirectory,
@@ -250,8 +271,10 @@ class KvServer(_KvMuxProcess):
             if local is None:
                 return None  # this fleet server does not serve the shard
             bus = ShardBus(self, spec)
-            inner = self._server_cls(server_id(local), spec.config,
-                                     initial_value=self._initial_value)
+            classes = _shard_classes(spec)
+            server_cls = self._server_cls if classes is None else classes[0]
+            inner = server_cls(server_id(local), spec.config,
+                               initial_value=self._initial_value)
             bus.attach(inner)
             resolved = (inner, bus)
             self._inner_servers[shard_id] = resolved
@@ -270,6 +293,8 @@ class KvClientHost(_KvMuxProcess):
 
     Inner clients keep the fleet client's identity (client ids are
     shard-global), so acks and read values route straight back.
+    ``client_cls`` is the default inner class; shards with a
+    ``protocol`` override materialise that protocol's client.
     """
 
     def __init__(self, pid: PartyId, directory: KvDirectory,
@@ -285,7 +310,9 @@ class KvClientHost(_KvMuxProcess):
         if resolved is None:
             spec = self.directory.shard(shard_id)
             bus = ShardBus(self, spec)
-            inner = self._client_cls(self.pid, spec.config)
+            classes = _shard_classes(spec)
+            client_cls = self._client_cls if classes is None else classes[1]
+            inner = client_cls(self.pid, spec.config)
             bus.attach(inner)
             resolved = (inner, bus)
             self._inner_clients[shard_id] = resolved

@@ -77,6 +77,10 @@ DEFAULT_SANITIZERS: Tuple[Sanitizer, ...] = (
     Sanitizer("verify_merkle_proof"),
     Sanitizer("check_cross_checksum"),
     Sanitizer("timestamp_signature_valid"),
+    # AtomicMd's read-side block check: verifies the fetched message's
+    # block against the quorum-agreed cross-checksum (cleanses the
+    # message argument only — the commitment is already agreed).
+    Sanitizer("block_valid", cleanses=(0,)),
     Sanitizer("well_formed", cleanses=(), receiver=True),
 )
 

@@ -46,12 +46,24 @@ from repro.obs.export import (
 )
 from repro.obs.health import DEFAULT_WEIGHTS, HealthMonitor, shard_of_tag
 from repro.obs.instruments import Counter, Gauge, Histogram, Registry
+from repro.obs.planes import (
+    DATA_PLANE_MTYPES,
+    PLANE_DATA,
+    PLANE_METADATA,
+    TRANSPORT_MTYPES,
+    PlaneTraffic,
+    operation_plane_traffic,
+    plane_of_mtype,
+    plane_traffic,
+)
 from repro.obs.recorder import MessageRecord, QuorumRelease, TraceRecorder
 from repro.obs.slo import SloSpec, SloTracker, default_slos, evaluate_slos
 from repro.obs.timeseries import Digest, Series, TimeSeriesStore
 from repro.obs.spans import (
     KIND_OPERATION,
     KIND_PHASE,
+    PHASE_BLOCK_FETCH,
+    PHASE_BLOCK_PUSH,
     PHASE_DISPERSE,
     PHASE_LOCAL,
     PHASE_QUORUM_WAIT,
@@ -62,6 +74,7 @@ from repro.obs.spans import (
     Span,
     build_spans,
     classify_phase,
+    operation_records,
 )
 
 __all__ = [
@@ -99,8 +112,18 @@ __all__ = [
     "MessageRecord",
     "QuorumRelease",
     "TraceRecorder",
+    "DATA_PLANE_MTYPES",
+    "PLANE_DATA",
+    "PLANE_METADATA",
+    "TRANSPORT_MTYPES",
+    "PlaneTraffic",
+    "operation_plane_traffic",
+    "plane_of_mtype",
+    "plane_traffic",
     "KIND_OPERATION",
     "KIND_PHASE",
+    "PHASE_BLOCK_FETCH",
+    "PHASE_BLOCK_PUSH",
     "PHASE_DISPERSE",
     "PHASE_LOCAL",
     "PHASE_QUORUM_WAIT",
@@ -111,4 +134,5 @@ __all__ = [
     "Span",
     "build_spans",
     "classify_phase",
+    "operation_records",
 ]

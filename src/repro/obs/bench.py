@@ -199,15 +199,19 @@ def run_micro_benchmarks(quick: bool = False) -> List[BenchRow]:
     return rows
 
 
-def _macro_case(n: int, seed: int, value_size: int) -> BenchRow:
+def _macro_case(n: int, seed: int, value_size: int,
+                protocol: str = "atomic") -> BenchRow:
     from repro.cluster import build_cluster
     from repro.config import SystemConfig
     from repro.net.schedulers import RandomScheduler
     from repro.workloads.generator import random_workload, run_workload
 
     t = (n - 1) // 3
-    config = SystemConfig(n=n, t=t, seed=seed)
-    cluster = build_cluster(config, protocol="atomic", num_clients=2,
+    # atomic_md requires k <= n - 2t; every other protocol takes the
+    # config default (n - t).
+    k = t + 1 if protocol == "atomic_md" else None
+    config = SystemConfig(n=n, t=t, k=k, seed=seed)
+    cluster = build_cluster(config, protocol=protocol, num_clients=2,
                             scheduler=RandomScheduler(seed))
     operations = random_workload(2, writes=3, reads=3, seed=seed,
                                  value_size=value_size)
@@ -216,7 +220,7 @@ def _macro_case(n: int, seed: int, value_size: int) -> BenchRow:
     elapsed = wall_seconds() - start
     metrics = cluster.simulator.metrics
     return BenchRow(
-        name="macro.atomic_rw",
+        name=f"macro.{protocol}_rw",
         params={"n": n, "t": t, "k": config.k, "writes": 3, "reads": 3,
                 "value_bytes": value_size,
                 "messages": metrics.total_messages,
@@ -225,14 +229,21 @@ def _macro_case(n: int, seed: int, value_size: int) -> BenchRow:
 
 
 def run_macro_benchmarks(quick: bool = False) -> List[BenchRow]:
-    """End-to-end ``Atomic`` write/read workloads at several ``n``.
+    """End-to-end write/read workloads at several ``n``.
 
     Each case runs a fixed seeded workload (3 writes + 3 reads from 2
     clients under a seeded random scheduler), so schedules — and thus
-    message counts — are identical across baseline/after runs.
+    message counts — are identical across baseline/after runs.  Both
+    the full-value ``atomic`` path and the metadata/data-separated
+    ``atomic_md`` path run the same workload, making the per-row
+    ``message_bytes`` params a deterministic communication-complexity
+    comparison (``repro bench --compare`` joins rows by name+params).
     """
     sizes = [4] if quick else [4, 10, 16]
-    return [_macro_case(n, seed=n, value_size=4096) for n in sizes]
+    rows = [_macro_case(n, seed=n, value_size=4096) for n in sizes]
+    rows.extend(_macro_case(n, seed=n, value_size=4096,
+                            protocol="atomic_md") for n in sizes)
+    return rows
 
 
 def run_lint_benchmarks(quick: bool = False) -> List[BenchRow]:

@@ -276,10 +276,11 @@ def health_dashboard(monitor) -> str:
     """The ``repro monitor`` text dashboard for one finished run.
 
     Sections: fleet health (suspicion scores with per-signal
-    components), SLO burn rates with alert flags, operation latency
-    summary per op type, and a sparkline per time-series.  Output is a
-    pure function of the monitor's state — byte-identical across
-    repeated runs of the same seed.
+    components), SLO burn rates with alert flags, metadata-plane vs
+    data-plane wire traffic, operation latency summary per op type, and
+    a sparkline per time-series.  Output is a pure function of the
+    monitor's state — byte-identical across repeated runs of the same
+    seed.
     """
     monitor.finalize()
     lines: List[str] = []
@@ -324,6 +325,16 @@ def health_dashboard(monitor) -> str:
                 f"{entry['compliance']:>7.4f} "
                 f"{entry['fast_burn']:>7.2f} {entry['slow_burn']:>7.2f}  "
                 f"{flag}")
+    lines.append("")
+    lines.append("== planes ==")
+    planes = monitor.plane_totals()
+    total = planes["metadata_bytes"] + planes["data_bytes"]
+    data_share = planes["data_bytes"] / total if total else 0.0
+    lines.append(f"  metadata {planes['metadata_messages']:>6} msgs "
+                 f"{planes['metadata_bytes']:>10} B")
+    lines.append(f"  data     {planes['data_messages']:>6} msgs "
+                 f"{planes['data_bytes']:>10} B "
+                 f"({data_share:.1%} of bytes)")
     lines.append("")
     lines.append("== operations ==")
     lines.append(f"  completed={monitor.ops_completed} "

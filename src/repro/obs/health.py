@@ -42,6 +42,11 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.ids import PartyId
 from repro.net.message import LocalEvent, Message
+from repro.obs.planes import (
+    TRANSPORT_MTYPES,
+    PlaneTraffic,
+    plane_of_mtype,
+)
 from repro.obs.recorder import TraceRecorder
 from repro.obs.slo import (
     KIND_REPLICATION,
@@ -118,6 +123,9 @@ class HealthMonitor:
         if weights:
             self.weights.update(weights)
         self._simulator = None
+        #: run totals split metadata-plane vs data-plane (transport
+        #: envelopes excluded; see :mod:`repro.obs.planes`)
+        self.planes = PlaneTraffic()
         # -- per-server signal accumulators (keyed by PartyId) --------
         self._sends: Dict[PartyId, int] = {}
         self._sends_by_type: Dict[Tuple[PartyId, str], int] = {}
@@ -159,8 +167,9 @@ class HealthMonitor:
 
     def on_send(self, message: Message, time: int,
                 pending: int = 0) -> None:
-        """Count the send per server/mtype and sample the in-flight
-        gauge (forwards to the wrapped recorder first)."""
+        """Count the send per server/mtype, split its bytes by wire
+        plane, and sample the in-flight gauge (forwards to the wrapped
+        recorder first)."""
         self.recorder.on_send(message, time, pending=pending)
         sender = message.sender
         if sender.is_server:
@@ -169,6 +178,12 @@ class HealthMonitor:
             self._sends_by_type[key] = self._sends_by_type.get(key, 0) + 1
         self.store.counter("net.sent").record(time)
         self.store.gauge("net.in_flight").record(time, pending)
+        if message.mtype not in TRANSPORT_MTYPES:
+            wire_bytes = message.wire_size()
+            self.planes.observe(message.mtype, wire_bytes)
+            plane = plane_of_mtype(message.mtype)
+            self.store.counter(
+                f"plane.bytes[{plane}]").record(time, wire_bytes)
 
     def on_deliver(self, message: Message, time: int,
                    inbox_depth: int = 0, pending: int = 0) -> None:
@@ -418,6 +433,11 @@ class HealthMonitor:
         return {row["server"]: row["score"]
                 for row in self.server_health()}
 
+    def plane_totals(self) -> Dict[str, int]:
+        """Run-level metadata-plane vs data-plane message/byte totals
+        (:meth:`PlaneTraffic.to_json` form; envelopes excluded)."""
+        return self.planes.to_json()
+
     # -- SLO evaluation ------------------------------------------------------
 
     def slo_report(self) -> List[Dict[str, Any]]:
@@ -443,6 +463,7 @@ class HealthMonitor:
             "horizon": self.store.horizon,
             "ops": {"completed": self.ops_completed,
                     "abandoned": self.ops_abandoned},
+            "planes": self.plane_totals(),
             "health": self.server_health(),
             "slos": self.slo_report(),
             "series": self.store.snapshot(),

@@ -43,6 +43,8 @@ PHASE_RBC = "rbc"
 PHASE_QUORUM_WAIT = "quorum-wait"
 PHASE_RETRIEVE = "retrieve"
 PHASE_SIG_ROUND = "sig-round"
+PHASE_BLOCK_PUSH = "block-push"
+PHASE_BLOCK_FETCH = "block-fetch"
 PHASE_LOCAL = "local"
 
 #: register-tag message types -> phase
@@ -54,6 +56,19 @@ _MTYPE_PHASES = {
     "value": PHASE_RETRIEVE,
     "read-complete": PHASE_RETRIEVE,
     "share": PHASE_SIG_ROUND,
+    # AtomicMd (metadata/data separation): the metadata plane maps onto
+    # the classic phases, the data plane gets its own pair so critical-
+    # path attribution can price block movement separately.
+    "md-get-ts": PHASE_TS_QUERY,
+    "md-ts": PHASE_TS_QUERY,
+    "md-ack": PHASE_QUORUM_WAIT,
+    "md-read": PHASE_RETRIEVE,
+    "md-meta": PHASE_RETRIEVE,
+    "md-read-complete": PHASE_RETRIEVE,
+    "md-store": PHASE_BLOCK_PUSH,
+    "md-get-block": PHASE_BLOCK_FETCH,
+    "md-block": PHASE_BLOCK_FETCH,
+    "md-block-miss": PHASE_BLOCK_FETCH,
 }
 
 #: sub-protocol substrate message types -> phase (from the substrates'
@@ -120,11 +135,13 @@ class Span:
         return None
 
 
-def _operation_records(recorder: TraceRecorder, tag: str,
-                       oid: str) -> List[MessageRecord]:
+def operation_records(recorder: TraceRecorder, tag: str,
+                      oid: str) -> List[MessageRecord]:
     """All message records belonging to one operation: register-tag
     messages carrying its oid plus all sub-instance traffic
-    (``ID|<kind>.oid``)."""
+    (``ID|<kind>.oid``).  Public because plane attribution
+    (:mod:`repro.obs.planes`) folds the same record set by wire plane.
+    """
     prefix = tag + TAG_SEP
     records = []
     for record in recorder.messages.values():
@@ -136,6 +153,10 @@ def _operation_records(recorder: TraceRecorder, tag: str,
             if sub_oid == oid:
                 records.append(record)
     return records
+
+
+# internal alias retained for the span builder below
+_operation_records = operation_records
 
 
 def _close_time(record: MessageRecord) -> int:

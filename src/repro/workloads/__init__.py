@@ -6,9 +6,17 @@ from repro.workloads.generator import (
     random_workload,
     run_workload,
 )
-from repro.workloads.kv import KvOp, key_names, kv_workload
+from repro.workloads.kv import (
+    DEFAULT_SHIFT_EVERY,
+    DISTRIBUTIONS,
+    KvOp,
+    key_names,
+    kv_workload,
+)
 
 __all__ = [
+    "DEFAULT_SHIFT_EVERY",
+    "DISTRIBUTIONS",
     "KvOp",
     "WorkloadOp",
     "key_names",

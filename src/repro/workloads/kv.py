@@ -1,10 +1,16 @@
 """Multi-key workload generation for the kv plane.
 
 Produces sequences of :class:`repro.kv.cluster.KvOp` with seeded key
-popularity — ``"uniform"`` or ``"zipf"`` (rank ``r`` weighted
-``1 / r**s``, the classic web-traffic skew) — and globally unique write
-values (the linearizability checker requires distinct values per key;
-unique values fleet-wide are simplest and cost nothing).
+popularity — ``"uniform"``, ``"zipf"`` (rank ``r`` weighted
+``1 / r**s``, the classic web-traffic skew), or ``"zipf-shift"`` (the
+same skew with the hot set rotating through the key space every
+``shift_every`` operations, modelling diurnal popularity drift) — and
+globally unique write values (the linearizability checker requires
+distinct values per key; unique values fleet-wide are simplest and cost
+nothing).
+
+Read-mostly mixes are just low ``write_ratio`` values: the canonical
+90/10 web mix is ``write_ratio=0.1``.
 """
 
 from __future__ import annotations
@@ -20,7 +26,10 @@ from repro.common.errors import ConfigurationError
 from repro.workloads.generator import make_values
 
 #: Supported key-popularity distributions.
-DISTRIBUTIONS = ("uniform", "zipf")
+DISTRIBUTIONS = ("uniform", "zipf", "zipf-shift")
+
+#: Default operations between hot-set rotations under ``"zipf-shift"``.
+DEFAULT_SHIFT_EVERY = 32
 
 
 @dataclass(frozen=True)
@@ -50,7 +59,7 @@ def _key_weights(count: int, distribution: str,
                  zipf_exponent: float) -> List[float]:
     if distribution == "uniform":
         return [1.0] * count
-    if distribution == "zipf":
+    if distribution in ("zipf", "zipf-shift"):
         return [1.0 / (rank ** zipf_exponent)
                 for rank in range(1, count + 1)]
     raise ConfigurationError(
@@ -61,8 +70,8 @@ def _key_weights(count: int, distribution: str,
 def kv_workload(num_sessions: int, num_keys: int, ops: int,
                 write_ratio: float = 0.5, distribution: str = "zipf",
                 zipf_exponent: float = 1.1, seed: int = 0,
-                value_size: int = 64,
-                keys: Sequence[str] = ()) -> List[KvOp]:
+                value_size: int = 64, keys: Sequence[str] = (),
+                shift_every: int = DEFAULT_SHIFT_EVERY) -> List[KvOp]:
     """Generate ``ops`` seeded operations over ``num_keys`` keys.
 
     Sessions are assigned round-robin so every session participates;
@@ -70,13 +79,22 @@ def kv_workload(num_sessions: int, num_keys: int, ops: int,
     each run opens with one write (a read-only prefix would only ever
     observe the initial value).  Pass explicit ``keys`` to override the
     generated names.
+
+    Under ``"zipf-shift"`` the rank → key assignment rotates every
+    ``shift_every`` operations: the key that was rank ``r`` hot in
+    phase ``p`` is rank ``r`` hot *shifted by one position* in phase
+    ``p + 1``, so caches and placement tuned to the early hot set go
+    stale as the run progresses.
     """
     if num_sessions < 1:
         raise ConfigurationError("num_sessions must be >= 1")
     if ops < 1:
         raise ConfigurationError("ops must be >= 1")
+    if shift_every < 1:
+        raise ConfigurationError("shift_every must be >= 1")
     key_list = list(keys) if keys else key_names(num_keys)
-    weights = _key_weights(len(key_list), distribution, zipf_exponent)
+    count = len(key_list)
+    weights = _key_weights(count, distribution, zipf_exponent)
     cumulative = list(accumulate(weights))
     total = cumulative[-1]
     rng = random.Random(seed)
@@ -85,7 +103,11 @@ def kv_workload(num_sessions: int, num_keys: int, ops: int,
     writes_used = 0
     for index in range(ops):
         point = rng.random() * total
-        key = key_list[bisect.bisect_left(cumulative, point)]
+        rank = bisect.bisect_left(cumulative, point)
+        if distribution == "zipf-shift":
+            phase = index // shift_every
+            rank = (rank + phase) % count
+        key = key_list[rank]
         session = (index % num_sessions) + 1
         is_write = index == 0 or rng.random() < write_ratio
         if is_write:

@@ -1,0 +1,435 @@
+"""Protocol AtomicMd: metadata/data separation with k-server reads.
+
+The load-bearing guarantees tested here:
+
+* **Register semantics** — write/read round-trips, initial values,
+  timestamp monotonicity, and linearizability of concurrent seeded
+  workloads at both canonical deployments (n=4/t=1 and n=7/t=2).
+* **Resilience shape** — ``k <= n - 2t`` is enforced at construction
+  (the default ``k = n - t`` is rejected), and the chaos campaign
+  resolves ``k = t + 1`` automatically for ``atomic_md`` specs.
+* **Data-plane shape** — a write pushes exactly ``n`` point-to-point
+  blocks (no AVID echo storm); a fault-free read fetches blocks from
+  exactly ``k`` servers.
+* **Escalation** — a Byzantine data plane (corrupted blocks, universal
+  misses) forces reads past their first ``k`` fetch targets; reads
+  still return the correct value and the verification-failure /
+  block-miss telemetry records the attack.
+* **Chaos battery** — every builtin fault plan yields the model's
+  expected outcome, including the beyond-the-bound ``boundary`` plan.
+* **Schedule preservation** — loading and exercising ``atomic_md``
+  leaves the golden schedules of the existing protocols byte-identical.
+* **Plane attribution** — ``repro.obs.planes`` classifies AtomicMd
+  traffic correctly and stays in sync with the kv transport envelope.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.history import HistoryRecorder
+from repro.chaos.campaign import FAILSTOP_SERVERS, RunSpec, execute_run
+from repro.chaos.library import BUILTIN_PLANS, builtin_plan
+from repro.cluster import PROTOCOLS, build_cluster
+from repro.common.errors import ConfigurationError
+from repro.config import SystemConfig
+from repro.core.atomic_md import (
+    DATA_PLANE_TYPES,
+    MESSAGE_TYPES,
+    MSG_BLOCK,
+    MSG_BLOCK_MISS,
+    MSG_GET_BLOCK,
+    MSG_STORE,
+    validate_md_config,
+)
+from repro.faults.byzantine_servers import (
+    CorruptBlockMdServer,
+    MissingBlockMdServer,
+)
+from repro.faults.failstop import FailStopMdServer
+from repro.kv import KvDirectory, run_kv_case
+from repro.kv.envelope import MSG_KV_BATCH
+from repro.lint.config import LintConfig
+from repro.net.schedulers import RandomScheduler
+from repro.obs.planes import (
+    DATA_PLANE_MTYPES,
+    TRANSPORT_MTYPES,
+    PlaneTraffic,
+    operation_plane_traffic,
+    plane_of_mtype,
+    plane_traffic,
+)
+from repro.obs.recorder import TraceRecorder
+from repro.workloads.generator import random_workload, run_workload
+from repro.workloads.kv import kv_workload
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+
+def _cluster(n=4, t=1, seed=0, clients=2, **overrides):
+    config = SystemConfig(n=n, t=t, k=t + 1, seed=seed)
+    return build_cluster(config, protocol="atomic_md", num_clients=clients,
+                         scheduler=RandomScheduler(seed), **overrides)
+
+
+# -- register semantics -------------------------------------------------------
+
+def test_write_then_read():
+    cluster = _cluster()
+    cluster.write(1, "reg", "w1", b"separated value")
+    assert cluster.read(2, "reg", "r1").result == b"separated value"
+
+
+def test_larger_deployment():
+    cluster = _cluster(n=7, t=2, seed=3)
+    cluster.write(1, "reg", "w1", b"seven servers, three blocks")
+    assert cluster.read(2, "reg", "r1").result \
+        == b"seven servers, three blocks"
+
+
+def test_initial_value_propagates():
+    config = SystemConfig(n=4, t=1, k=2)
+    cluster = build_cluster(config, protocol="atomic_md",
+                            initial_value=b"boot")
+    assert cluster.read(1, "reg", "r1").result == b"boot"
+
+
+def test_registered_in_protocol_table():
+    assert "atomic_md" in PROTOCOLS
+    assert FAILSTOP_SERVERS["atomic_md"] is FailStopMdServer
+
+
+def test_sequential_writes_increment_by_one():
+    cluster = _cluster()
+    for index in range(1, 5):
+        cluster.write(1, "reg", f"w{index}", b"v%d" % index)
+        state = cluster.server(1).register_state("reg")
+        assert state.timestamp.ts == index
+
+
+def test_concurrent_workload_atomic():
+    for seed in range(5):
+        cluster = _cluster(seed=seed, clients=3)
+        operations = random_workload(3, writes=4, reads=5, seed=seed)
+        run_workload(cluster, "reg", operations, seed=seed)
+        HistoryRecorder(cluster, "reg").check()
+
+
+def test_accepted_history_is_bounded():
+    """Servers retain a bounded version history for late block fetches;
+    the currently adopted version is never evicted."""
+    cluster = _cluster(clients=1)
+    limit = cluster.server(1).history_limit
+    for index in range(limit + 4):
+        cluster.write(1, "reg", f"w{index}", b"v%d" % index)
+    for server in cluster.servers:
+        state = server.register_state("reg")
+        assert len(state.history) <= limit
+        assert state.timestamp in state.history
+
+
+# -- resilience shape ---------------------------------------------------------
+
+def test_default_k_is_rejected():
+    """``SystemConfig``'s default ``k = n - t`` violates the AtomicMd
+    read-liveness bound ``k <= n - 2t``; the deployment must opt in."""
+    with pytest.raises(ConfigurationError, match="k <= n - 2t"):
+        build_cluster(SystemConfig(n=4, t=1), protocol="atomic_md")
+
+
+def test_validate_md_config_accepts_the_bound_exactly():
+    validate_md_config(SystemConfig(n=7, t=2, k=3))
+    with pytest.raises(ConfigurationError):
+        validate_md_config(SystemConfig(n=7, t=2, k=4))
+
+
+def test_runspec_resolves_k_for_atomic_md_only():
+    plan = builtin_plan("none", 4, 1)
+    md = RunSpec(protocol="atomic_md", plan=plan)
+    assert md.resolved_k() == 2
+    assert RunSpec(protocol="atomic", plan=plan).resolved_k() is None
+    pinned = RunSpec(protocol="atomic_md", plan=plan, k=2)
+    assert pinned.resolved_k() == 2
+
+
+def test_runspec_k_roundtrips_through_json():
+    plan = builtin_plan("none", 7, 2)
+    spec = RunSpec(protocol="atomic_md", plan=plan, n=7, t=2, k=3)
+    assert RunSpec.from_json(spec.to_json()) == spec
+    legacy = spec.to_json()
+    del legacy["k"]  # reproducers written before the field existed
+    assert RunSpec.from_json(legacy).k is None
+
+
+# -- data-plane shape ---------------------------------------------------------
+
+def test_write_pushes_exactly_n_blocks():
+    """The O(n) data plane: one ``md-store`` per server, no echoes."""
+    cluster = _cluster(clients=1)
+    cluster.write(1, "reg", "w1", b"x" * 64)
+    cluster.run()
+    counts = cluster.simulator.metrics.messages_by_mtype("reg")
+    assert counts.get(MSG_STORE, 0) == 4
+    assert not any(mtype.startswith("avid-") for mtype in counts)
+
+
+def test_fault_free_read_fetches_exactly_k_blocks():
+    cluster = _cluster()
+    cluster.write(1, "reg", "w1", b"y" * 64)
+    cluster.read(2, "reg", "r1")
+    counts = cluster.simulator.metrics.messages_by_mtype("reg")
+    assert counts.get(MSG_GET_BLOCK, 0) == cluster.config.k
+    assert counts.get(MSG_BLOCK, 0) == cluster.config.k
+
+
+# -- Byzantine data plane: escalation -----------------------------------------
+
+def test_corrupt_block_server_forces_escalation():
+    """A server serving corrupted blocks fails reader-side verification;
+    the read escalates to further agreeing servers and still returns
+    the correct value, with the failure recorded for the health plane."""
+    cluster = _cluster(
+        seed=1,
+        server_overrides={1: lambda pid, cfg: CorruptBlockMdServer(pid, cfg)})
+    recorder = TraceRecorder().attach(cluster.simulator)
+    cluster.write(1, "reg", "w1", b"still intact")
+    assert cluster.read(2, "reg", "r1").result == b"still intact"
+    counts = cluster.simulator.metrics.messages_by_mtype("reg")
+    failures = {name: summary["value"]
+                for name, summary in recorder.registry.snapshot().items()
+                if name.startswith("verify.failed.by[")}
+    if counts.get(MSG_GET_BLOCK, 0) > cluster.config.k:
+        # the corrupt server was among the first k targets: escalation
+        assert failures.get(f"verify.failed.by[{MSG_BLOCK}]", 0) > 0
+    else:
+        # the first k targets were honest — nothing to escalate past
+        assert not failures
+
+
+def test_every_read_escalates_when_corrupt_server_is_always_queried():
+    """At n=4/t=1 with k=2 and *two* reads from different clients, at
+    least one hits the corrupt server with high probability across
+    seeds; sweep a few to pin the escalation path deterministically."""
+    escalated = 0
+    for seed in range(4):
+        cluster = _cluster(
+            seed=seed,
+            server_overrides={
+                4: lambda pid, cfg: CorruptBlockMdServer(pid, cfg)})
+        recorder = TraceRecorder().attach(cluster.simulator)
+        cluster.write(1, "reg", "w1", b"sweep value")
+        assert cluster.read(2, "reg", "r1").result == b"sweep value"
+        snapshot = recorder.registry.snapshot()
+        escalated += any(name.startswith("verify.failed.by[")
+                         for name in snapshot)
+    assert escalated > 0
+
+
+def test_missing_block_server_triggers_miss_escalation():
+    """Universal ``md-block-miss`` replies exercise the miss-triggered
+    escalation path; reads terminate via the honest servers."""
+    hit = 0
+    for seed in range(4):
+        cluster = _cluster(
+            seed=seed,
+            server_overrides={
+                2: lambda pid, cfg: MissingBlockMdServer(pid, cfg)})
+        cluster.write(1, "reg", "w1", b"served elsewhere")
+        assert cluster.read(2, "reg", "r1").result == b"served elsewhere"
+        counts = cluster.simulator.metrics.messages_by_mtype("reg")
+        hit += counts.get(MSG_BLOCK_MISS, 0)
+    assert hit > 0
+
+
+def test_reads_linearize_with_byzantine_data_plane_at_n7():
+    """Full workload at n=7/t=2 with one corrupt-block and one
+    missing-block server (within the t=2 budget): atomicity holds."""
+    cluster = _cluster(
+        n=7, t=2, seed=2, clients=3,
+        server_overrides={
+            6: lambda pid, cfg: MissingBlockMdServer(pid, cfg),
+            7: lambda pid, cfg: CorruptBlockMdServer(pid, cfg)})
+    operations = random_workload(3, writes=3, reads=4, seed=2)
+    run_workload(cluster, "reg", operations, seed=2)
+    HistoryRecorder(cluster, "reg",
+                    honest_servers=[cluster.server(j).pid
+                                    for j in range(1, 6)]).check()
+
+
+# -- chaos battery ------------------------------------------------------------
+
+@pytest.mark.parametrize("plan_name", sorted(BUILTIN_PLANS))
+def test_builtin_chaos_battery_n4(plan_name):
+    """Every builtin plan at n=4/t=1 yields the model's promise: ``ok``
+    within the resilience bound, a failure beyond it (``boundary``)."""
+    spec = RunSpec(protocol="atomic_md",
+                   plan=builtin_plan(plan_name, 4, 1, seed=0))
+    result = execute_run(spec)
+    assert result.expected, (plan_name, result.status, result.detail)
+
+
+@pytest.mark.parametrize("plan_name",
+                         ["corruption", "partition", "slow-server",
+                          "sched-partition", "boundary"])
+def test_builtin_chaos_battery_n7(plan_name):
+    spec = RunSpec(protocol="atomic_md", n=7, t=2,
+                   plan=builtin_plan(plan_name, 7, 2, seed=1), seed=1)
+    result = execute_run(spec)
+    assert result.expected, (plan_name, result.status, result.detail)
+
+
+# -- schedule preservation ----------------------------------------------------
+
+def test_existing_schedules_byte_identical_with_atomic_md_exercised():
+    """Exercising AtomicMd first must not perturb the golden schedules
+    of the existing protocols (shared caches, wire registry, RNG)."""
+    import gen_golden_schedules
+    cluster = _cluster()
+    cluster.write(1, "reg", "w1", b"warm the caches")
+    cluster.read(2, "reg", "r1")
+    fixture = json.loads(
+        (REPO_ROOT / "tests" / "fixtures" /
+         "golden_schedules.json").read_text(encoding="utf-8"))
+    for case in fixture["cases"][:2]:
+        fresh = gen_golden_schedules.run_case(dict(case["spec"]))
+        assert fresh["sha256"] == case["sha256"]
+
+
+def test_atomic_md_runs_are_deterministic():
+    digests = set()
+    for _ in range(2):
+        spec = RunSpec(protocol="atomic_md",
+                       plan=builtin_plan("mixed", 4, 1, seed=3), seed=3)
+        digests.add(execute_run(spec).digest)
+    assert len(digests) == 1
+
+
+# -- plane attribution --------------------------------------------------------
+
+def test_plane_classification_of_md_message_types():
+    assert set(DATA_PLANE_TYPES) <= DATA_PLANE_MTYPES
+    for mtype in MESSAGE_TYPES:
+        expected = "data" if mtype in DATA_PLANE_TYPES else "metadata"
+        assert plane_of_mtype(mtype) == expected
+
+
+def test_transport_envelope_literal_stays_in_sync():
+    """``repro.obs.planes`` spells the kv envelope type as a literal to
+    avoid an ``obs -> kv -> obs`` import cycle; this is the pin."""
+    assert TRANSPORT_MTYPES == frozenset((MSG_KV_BATCH,))
+
+
+def test_plane_traffic_excludes_transport_envelopes():
+    traffic = PlaneTraffic()
+    traffic.observe(MSG_STORE, 100)
+    traffic.observe("md-meta", 10)
+    traffic.observe(MSG_KV_BATCH, 10_000)
+    assert traffic.data_bytes == 100
+    assert traffic.metadata_bytes == 10
+    assert traffic.total_bytes == 110
+    assert traffic.to_json()["data_messages"] == 1
+
+
+def test_run_level_plane_split_shows_k_server_reads():
+    """Per-operation attribution: a read's data plane (k block fetches)
+    moves fewer bytes than a write's (n block pushes)."""
+    cluster = _cluster()
+    recorder = TraceRecorder().attach(cluster.simulator)
+    cluster.write(1, "reg", "w1", b"z" * 256)
+    cluster.read(2, "reg", "r1")
+    totals = plane_traffic(recorder)
+    assert totals.data_bytes > 0 and totals.metadata_bytes > 0
+    per_op = operation_plane_traffic(recorder)
+    assert per_op["write"].data_messages == cluster.config.n
+    assert per_op["read"].data_messages == cluster.config.k
+    assert per_op["read"].data_bytes < per_op["write"].data_bytes
+
+
+# -- kv plane integration -----------------------------------------------------
+
+def test_directory_shard_k_reaches_every_shard_config():
+    directory = KvDirectory(SystemConfig(n=4, t=1), 4, shard_k=2)
+    assert all(spec.config.k == 2 for spec in directory.shards)
+
+
+def test_directory_protocol_overrides_validated_and_recorded():
+    fleet = SystemConfig(n=4, t=1)
+    directory = KvDirectory(fleet, 4, shard_k=2,
+                            protocol_overrides={1: "atomic_md"})
+    assert directory.shard(1).protocol == "atomic_md"
+    assert directory.shard(0).protocol is None
+    with pytest.raises(ConfigurationError, match="out of range"):
+        KvDirectory(fleet, 4, protocol_overrides={4: "atomic_md"})
+
+
+def test_mixed_protocol_kv_deployment_linearizes():
+    """One deployment, shards split across ``atomic`` and ``atomic_md``
+    (``shard_k`` auto-resolves to ``t + 1``): histories linearize."""
+    row, cluster = run_kv_case(2, sessions=2, keys=8, ops=24, seed=4,
+                               protocol="atomic",
+                               protocol_overrides={1: "atomic_md"})
+    assert row.linearizable
+    assert row.completed == 24
+    protocols = {spec.protocol for spec
+                 in cluster.directory.shards}
+    assert protocols == {None, "atomic_md"}
+
+
+def test_kv_case_rejects_byzantine_for_other_protocols():
+    with pytest.raises(ConfigurationError):
+        run_kv_case(2, protocol="atomic", byzantine="corrupt-block")
+
+
+def test_kv_case_md_byzantine_row_escalates_and_linearizes():
+    row, _ = run_kv_case(2, protocol="atomic_md", sessions=2, keys=8,
+                         ops=24, write_ratio=0.1, seed=0,
+                         byzantine="corrupt-block")
+    assert row.linearizable
+    assert row.verify_failures > 0
+    assert row.plan == "byz-corrupt-block"
+
+
+# -- read-mostly workload mixes -----------------------------------------------
+
+def test_zipf_shift_rotates_the_hot_set():
+    """Under ``zipf-shift`` the rank → key assignment rotates by one
+    every ``shift_every`` ops: the first phase matches plain zipf, the
+    next phase's keys are shifted by one position."""
+    plain = kv_workload(2, 8, 32, write_ratio=0.1, distribution="zipf",
+                        seed=9)
+    shifted = kv_workload(2, 8, 32, write_ratio=0.1,
+                          distribution="zipf-shift", seed=9,
+                          shift_every=16)
+    keys = [f"k{i:03d}" for i in range(8)]
+    assert [op.key for op in plain[:16]] == [op.key for op in shifted[:16]]
+    for before, after in zip(plain[16:], shifted[16:]):
+        index = keys.index(before.key)
+        assert after.key == keys[(index + 1) % len(keys)]
+
+
+def test_zipf_shift_validates_shift_every():
+    with pytest.raises(ConfigurationError):
+        kv_workload(2, 8, 16, distribution="zipf-shift", shift_every=0)
+
+
+def test_read_mostly_mix_is_read_mostly_and_deterministic():
+    first = kv_workload(4, 32, 200, write_ratio=0.1,
+                        distribution="zipf-shift", seed=0)
+    second = kv_workload(4, 32, 200, write_ratio=0.1,
+                         distribution="zipf-shift", seed=0)
+    assert first == second
+    writes = sum(1 for op in first if op.kind == "write")
+    assert 0.02 <= writes / len(first) <= 0.25
+
+
+# -- lint coverage ------------------------------------------------------------
+
+def test_atomic_md_is_inside_every_protocol_lint_scope():
+    """The new protocol module must be covered by the determinism,
+    quorum, handler, and taint-flow packs (``repro.core`` scope)."""
+    config = LintConfig()
+    for pack in ("determinism", "quorum", "handlers", "taint"):
+        assert config.in_scope(pack, "repro.core.atomic_md"), pack

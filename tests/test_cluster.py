@@ -10,9 +10,9 @@ from repro.faults.byzantine_servers import CrashServer
 
 
 def test_all_protocols_registered():
-    assert set(PROTOCOLS) == {"atomic", "atomic_ns", "martin",
-                              "bazzi_ding", "goodson", "phalanx", "abc",
-                              "no_listeners"}
+    assert set(PROTOCOLS) == {"atomic", "atomic_ns", "atomic_md",
+                              "martin", "bazzi_ding", "goodson",
+                              "phalanx", "abc", "no_listeners"}
 
 
 def test_build_default():

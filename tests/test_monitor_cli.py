@@ -22,6 +22,7 @@ def test_monitor_simulate_smoke(capsys, tmp_path):
     assert code == 0
     assert "== fleet health ==" in out
     assert "== slos ==" in out
+    assert "== planes ==" in out
     payload = json.loads(
         (tmp_path / "BENCH_health.json").read_text())
     assert payload["data"]["source"] == "simulate"
