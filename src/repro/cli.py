@@ -276,14 +276,87 @@ def _cmd_kv_md_compare(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_kv_bench(args: argparse.Namespace) -> int:
+def _cmd_kv_readheavy(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.kv.bench import run_kv_readheavy_comparison
+    from repro.obs.bench import emit_bench
+
+    if args.check:
+        return _check_kv_readheavy(Path(args.check))
+    # The read-heavy comparison is a pinned benchmark (the committed
+    # BENCH_kv_readheavy.json): its workload shape comes from the tuned
+    # function defaults, not the generic sweep flags — only the fleet,
+    # seed, and cache knobs pass through (and --smoke shrinks the run).
+    overrides = ({"sessions": 2, "keys": 4, "ops": 48, "value_size": 32}
+                 if args.smoke else {})
+    payload = run_kv_readheavy_comparison(
+        n=args.n, t=args.t, seed=args.seed,
+        cache_size=args.cache or 32,
+        lease_ticks=args.lease_ticks or 128, **overrides)
+    print(f"{'case':<18} {'rd/tick':>8} {'ticks':>6} {'lin':>4} "
+          f"{'lease':>6} {'reval':>6} {'hits':>5} {'fb':>4}")
+    for row in payload["rows"]:
+        print(f"{row['case']:<18} {row['reads_per_tick']:>8.4f} "
+              f"{row['ticks']:>6} "
+              f"{'ok' if row['linearizable'] else 'FAIL':>4} "
+              f"{row['lease_hits']:>6} {row['revalidations']:>6} "
+              f"{row['revalidate_hits']:>5} "
+              f"{row['revalidate_fallbacks']:>4}")
+    summary = payload["summary"]
+    print(f"\nsession cache: {summary['read_throughput_ratio']:.2f}x "
+          f"read throughput vs uncached atomic_md "
+          f"({'all linearizable' if summary['all_linearizable'] else 'LINEARIZABILITY FAILURES'})")
+    if args.out:
+        label = args.label if args.label != "kv" else "kv_readheavy"
+        path = emit_bench(label, payload, directory=Path(args.out))
+        print(f"wrote {path}")
+    return 0
+
+
+def _check_kv_readheavy(path) -> int:
+    """Validate a committed read-heavy bench payload against the
+    acceptance gates (the CI pin for ``BENCH_kv_readheavy.json``)."""
     import json
 
+    document = json.loads(path.read_text(encoding="utf-8"))
+    payload = document.get("data", document)
+    rows = {row["case"]: row for row in payload["rows"]}
+    summary = payload["summary"]
+    failures = []
+    required = ("uncached", "cached", "cached+chaos",
+                "cached+byz-stale", "cached+byz-forged")
+    for case in required:
+        if case not in rows:
+            failures.append(f"missing case {case!r}")
+    for case, row in rows.items():
+        if not row["linearizable"]:
+            failures.append(f"case {case!r} is not linearizable")
+    ratio = summary.get("read_throughput_ratio", 0.0)
+    if ratio <= 5.0:
+        failures.append(f"read throughput ratio {ratio} <= 5.0")
+    forged = rows.get("cached+byz-forged")
+    if forged is not None and not forged["revalidate_fallbacks"]:
+        failures.append(
+            "forged-metadata case triggered no full-read fallback")
+    if failures:
+        print(f"readheavy check FAILED for {path}:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"readheavy check ok: {ratio:.2f}x read throughput, "
+          f"{len(rows)} cases linearizable ({path})")
+    return 0
+
+
+def _cmd_kv_bench(args: argparse.Namespace) -> int:
     from repro.kv.bench import run_kv_bench
     from repro.obs.bench import emit_bench
 
     if args.md_compare:
         return _cmd_kv_md_compare(args)
+    if args.readheavy or args.check:
+        return _cmd_kv_readheavy(args)
     if args.smoke:
         shard_counts = [1, 2]
         overrides = {"sessions": 2, "keys": 8, "ops": 24,
@@ -299,18 +372,25 @@ def _cmd_kv_bench(args: argparse.Namespace) -> int:
         write_ratio=args.write_ratio, distribution=args.distribution,
         zipf_exponent=args.zipf_exponent, seed=args.seed,
         chaos_plan=chaos_plan, shard_k=args.shard_k,
-        shift_every=args.shift_every, **overrides)
+        shift_every=args.shift_every, cache_size=args.cache,
+        lease_ticks=args.lease_ticks, **overrides)
+    cached = args.cache > 0
+    cache_cols = (f" {'rd/tick':>8} {'lease':>6} {'reval':>6} {'fb':>4}"
+                  if cached else "")
     print(f"{'shards':>6} {'plan':<10} {'ops/tick':>9} {'ticks':>7} "
           f"{'batch':>6} {'retries':>7} {'bp':>4} {'lin':>4} "
-          f"{'md B':>9} {'data B':>9} {'rd data B':>9}")
+          f"{'md B':>9} {'data B':>9} {'rd data B':>9}" + cache_cols)
     for row in payload["rows"]:
+        extra = (f" {row['reads_per_tick']:>8.4f} {row['lease_hits']:>6} "
+                 f"{row['revalidations']:>6} "
+                 f"{row['revalidate_fallbacks']:>4}" if cached else "")
         print(f"{row['shards']:>6} {row['plan'] or '-':<10} "
               f"{row['ops_per_tick']:>9.4f} {row['ticks']:>7} "
               f"{row['batch_factor']:>6.2f} {row['retries']:>7} "
               f"{row['backpressure_hits']:>4} "
               f"{'ok' if row['linearizable'] else 'FAIL':>4} "
               f"{row['metadata_bytes']:>9} {row['data_bytes']:>9} "
-              f"{row['read_data_bytes']:>9}")
+              f"{row['read_data_bytes']:>9}" + extra)
     fault_free = [row for row in payload["rows"] if row["plan"] is None]
     if len(fault_free) >= 2:
         first, last = fault_free[0], fault_free[-1]
@@ -484,7 +564,8 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         row, _ = run_kv_case(args.shards, n=args.n, t=args.t,
                              protocol=args.protocol, seed=args.seed,
                              plan_name=plan_name, monitor=monitor,
-                             **overrides)
+                             cache_size=args.cache,
+                             lease_ticks=args.lease_ticks, **overrides)
         print(f"source=kv-bench protocol={args.protocol} "
               f"shards={args.shards} plan={args.plan} n={args.n} "
               f"t={args.t} seed={args.seed}")
@@ -710,6 +791,27 @@ def build_parser() -> argparse.ArgumentParser:
                                "corrupt-block case (the "
                                "BENCH_kv_md.json payload); --shards/"
                                "--protocol/--plan are ignored")
+    kv_bench.add_argument("--cache", type=int, default=0,
+                          metavar="ENTRIES",
+                          help="per-session read-cache capacity; 0 "
+                               "(default) disables session caching")
+    kv_bench.add_argument("--lease-ticks", type=int, default=0,
+                          metavar="TICKS",
+                          help="read-lease window in simulator ticks "
+                               "(0 keeps the cache revalidation-only)")
+    kv_bench.add_argument("--readheavy", action="store_true",
+                          help="cached vs uncached atomic_md on one "
+                               "read-heavy Zipf workload plus chaos "
+                               "and Byzantine-metadata cases (the "
+                               "BENCH_kv_readheavy.json payload); "
+                               "--shards/--protocol/--plan are ignored")
+    kv_bench.add_argument("--check", metavar="FILE", default=None,
+                          help="validate a committed "
+                               "BENCH_kv_readheavy.json against the "
+                               "acceptance gates (>5x read throughput, "
+                               "every case linearizable, forged-meta "
+                               "fallbacks) and exit non-zero on "
+                               "failure")
     kv_bench.add_argument("--label", default="kv",
                           help="bench name: output file is "
                                "BENCH_<label>.json")
@@ -791,6 +893,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="chaos source: sweep seeds 0..N-1")
     monitor.add_argument("--shards", type=int, default=4,
                          help="kv-bench source: shard count")
+    monitor.add_argument("--cache", type=int, default=0,
+                         metavar="ENTRIES",
+                         help="kv-bench source: per-session read-cache "
+                              "capacity (0 disables)")
+    monitor.add_argument("--lease-ticks", type=int, default=0,
+                         metavar="TICKS",
+                         help="kv-bench source: read-lease window in "
+                              "simulator ticks")
     monitor.add_argument("--bucket-ticks", type=int, default=32,
                          help="time-series bucket width in logical "
                               "ticks (default: 32)")

@@ -65,7 +65,11 @@ from repro.common.serialization import encode, encoded_size
 from repro.config import SystemConfig
 from repro.core.atomic import parse_subtag, rbc_tag
 from repro.core.listeners import ListenerSet
-from repro.core.register import OperationHandle, RegisterClientBase
+from repro.core.register import (
+    KIND_VALIDATE,
+    OperationHandle,
+    RegisterClientBase,
+)
 from repro.core.timestamps import INITIAL_TIMESTAMP, Timestamp
 from repro.net.message import Message
 from repro.net.process import Process
@@ -80,12 +84,14 @@ MSG_GET_BLOCK = "md-get-block"
 MSG_BLOCK = "md-block"
 MSG_BLOCK_MISS = "md-block-miss"
 MSG_READ_COMPLETE = "md-read-complete"
+MSG_VALIDATE = "md-validate"
+MSG_VALID = "md-valid"
 
 #: every wire message type of AtomicMd, for observability tooling
 #: (per-mtype instruments, phase classification, plane attribution)
 MESSAGE_TYPES = (MSG_GET_TS, MSG_TS, MSG_STORE, MSG_ACK, MSG_READ,
                  MSG_META, MSG_GET_BLOCK, MSG_BLOCK, MSG_BLOCK_MISS,
-                 MSG_READ_COMPLETE)
+                 MSG_READ_COMPLETE, MSG_VALIDATE, MSG_VALID)
 
 #: message types that carry erasure-coded blocks (the data plane); the
 #: remaining AtomicMd traffic is timestamps and cross-checksums only.
@@ -161,6 +167,7 @@ class AtomicMdServer(Process):
         self.on(MSG_READ, self._on_read)
         self.on(MSG_GET_BLOCK, self._on_get_block)
         self.on(MSG_READ_COMPLETE, self._on_read_complete)
+        self.on(MSG_VALIDATE, self._on_validate)
 
     # -- register state -----------------------------------------------------
 
@@ -207,6 +214,26 @@ class AtomicMdServer(Process):
         state.listeners.add(oid, state.timestamp, message.sender)
         self.send(message.sender, message.tag, MSG_META, oid,
                   state.commitment, state.timestamp)
+
+    def _on_validate(self, message: Message) -> None:
+        """Answer a metadata-only revalidation probe with the *full*
+        current TIMESTAMP.
+
+        Unlike ``md-ts`` (which carries only the integer ``ts`` for the
+        writer's increment) the reply includes the writer-id tiebreak:
+        two concurrent writes can share the integer while naming
+        different values, so a cache revalidated on the bare integer
+        could confirm the wrong one.  Stateless and side-effect free —
+        no listener registration, nothing adopted.
+        """
+        if len(message.payload) != 1:
+            return
+        (oid,) = message.payload
+        if not isinstance(oid, str):
+            return
+        state = self.register_state(message.tag)
+        self.send(message.sender, message.tag, MSG_VALID, oid,
+                  state.timestamp)
 
     def _on_read_complete(self, message: Message) -> None:
         if len(message.payload) != 1:
@@ -384,6 +411,47 @@ class AtomicMdClient(RegisterClientBase):
             where=lambda m: (m.sender.is_server and len(m.payload) == 1
                              and m.payload[0] == oid))
         self._finish_write(handle)
+        # Expose the TIMESTAMP the acked write took effect with (the
+        # servers adopt exactly ``Timestamp(ts + 1, oid)``) so session
+        # caches can seed from acked writes, mirroring ``_finish_read``.
+        handle.timestamp = Timestamp(ts + 1, oid)
+
+    # -- metadata-only revalidation -----------------------------------------
+
+    def invoke_validate(self, tag: str, oid: str) -> OperationHandle:
+        """Start a metadata-only revalidation round; the handle's
+        ``timestamp`` holds the freshest quorum TIMESTAMP once done.
+
+        The round queries all servers and takes the maximum full
+        TIMESTAMP among ``n - t`` replies.  Any such quorum intersects
+        the metadata quorum of every completed write in at least
+        ``n - 2t >= t + 1`` servers — one honest — so the maximum is at
+        least the TIMESTAMP of every write that completed before the
+        round began.  A cached pair whose TIMESTAMP equals that maximum
+        is therefore still current, and serving it linearizes the read
+        inside the revalidation round.  No blocks move; this is not a
+        register operation of Definition 1 and never enters histories.
+        """
+        handle = self._new_handle(KIND_VALIDATE, tag, oid)
+        self.record_input(tag, "validate", oid)
+        handle.invoke_time = self.simulator.time
+        self.start_thread(self._validate_thread(handle))
+        return handle
+
+    def _validate_thread(self, handle: OperationHandle):
+        tag, oid = handle.tag, handle.oid
+        self.send_to_servers(tag, MSG_VALIDATE, oid)
+        replies = yield self.condition_quorum(
+            tag, MSG_VALID, self.config.quorum,
+            where=lambda m: (m.sender.is_server
+                             and len(m.payload) == 2
+                             and m.payload[0] == oid
+                             and isinstance(m.payload[1], Timestamp)))
+        timestamp = max(message.payload[1] for message in replies)
+        self.output(tag, "validate", oid)
+        handle._complete(self.simulator.time, timestamp=timestamp)
+        handle.latency_rounds = self.activation_depth
+        handle.completion_cause = self.activation_msg_id
 
     # -- read ---------------------------------------------------------------
 

@@ -20,6 +20,10 @@ from repro.net.process import Process
 
 KIND_WRITE = "write"
 KIND_READ = "read"
+#: Metadata-only revalidation round (protocols with a metadata plane);
+#: completes with a TIMESTAMP and no value — not a register operation
+#: of Definition 1, so it never enters operation histories.
+KIND_VALIDATE = "validate"
 
 
 @dataclass

@@ -19,6 +19,7 @@ from repro.core.atomic import MSG_VALUE, AtomicServer, _RegisterState
 from repro.core.atomic_md import (
     MSG_BLOCK,
     MSG_BLOCK_MISS,
+    MSG_VALID,
     AtomicMdServer,
 )
 from repro.core.atomic_ns import AtomicNSServer
@@ -169,6 +170,51 @@ class MissingBlockMdServer(AtomicMdServer):
             return
         self.send(message.sender, message.tag, MSG_BLOCK_MISS, oid,
                   timestamp)
+
+
+class StaleMetadataMdServer(AtomicMdServer):
+    """AtomicMd server answering revalidation probes with the initial
+    TIMESTAMP forever (stale metadata).
+
+    It cannot make a session serve a stale cache entry: revalidation
+    succeeds only when the *maximum* over ``n - t`` replies equals the
+    cached TIMESTAMP, and any such quorum shares an honest server with
+    the metadata quorum of every completed write — the honest reply
+    keeps the maximum at the true freshness, so one understating liar
+    changes nothing.  Nor can it stall revalidation: the quorum fills
+    from the ``n - t`` honest servers with or without it.
+    """
+
+    def _on_validate(self, message: Message) -> None:
+        if len(message.payload) != 1:
+            return
+        (oid,) = message.payload
+        if not isinstance(oid, str):
+            return
+        self.send(message.sender, message.tag, MSG_VALID, oid,
+                  INITIAL_TIMESTAMP)
+
+
+class ForgedMetadataMdServer(AtomicMdServer):
+    """AtomicMd server forging an inflated TIMESTAMP at revalidation.
+
+    The lie *raises* the quorum maximum above the cached TIMESTAMP, so
+    every revalidation round it participates in reports a mismatch and
+    the session falls back to a full protocol read — which the honest
+    quorum answers correctly.  Safety is untouched; the attack can only
+    tax performance by making the cache useless, never serve a wrong
+    value (the forged TIMESTAMP names no decodable version).
+    """
+
+    def _on_validate(self, message: Message) -> None:
+        if len(message.payload) != 1:
+            return
+        (oid,) = message.payload
+        if not isinstance(oid, str):
+            return
+        state = self.register_state(message.tag)
+        forged = Timestamp(state.timestamp.ts + INFLATION, "forged")
+        self.send(message.sender, message.tag, MSG_VALID, oid, forged)
 
 
 class AvidSpammerServer(AtomicServer):

@@ -43,7 +43,9 @@ from repro.config import SystemConfig
 from repro.core.atomic_md import MSG_BLOCK_MISS, MSG_GET_BLOCK
 from repro.faults.byzantine_servers import (
     CorruptBlockMdServer,
+    ForgedMetadataMdServer,
     MissingBlockMdServer,
+    StaleMetadataMdServer,
 )
 from repro.kv.cluster import (
     FailStopKvServer,
@@ -67,12 +69,17 @@ from repro.workloads.kv import DEFAULT_SHIFT_EVERY, kv_workload
 #: Prefix distinguishing kv operation spans from other traffic.
 _KV_SPAN_PREFIX = "kv.s"
 
-#: Byzantine data-plane cases ``run_kv_case(byzantine=...)`` accepts:
-#: one fleet server serves corrupted blocks / claims universal misses,
-#: so AtomicMd readers must escalate while metadata quorums stay live.
+#: Byzantine cases ``run_kv_case(byzantine=...)`` accepts: one fleet
+#: server serves corrupted blocks / claims universal misses (data
+#: plane, forcing read escalation) or answers cache revalidation with
+#: stale / forged-inflated metadata (metadata plane — stale replies
+#: cannot defeat the quorum maximum, forged ones only force the
+#: session's full-read fallback).
 BYZANTINE_MD_SERVERS = {
     "corrupt-block": CorruptBlockMdServer,
     "missing-block": MissingBlockMdServer,
+    "stale-meta": StaleMetadataMdServer,
+    "forged-meta": ForgedMetadataMdServer,
 }
 
 
@@ -117,6 +124,17 @@ class KvBenchRow:
     #: failed cryptographic checks observed anywhere in the run — a
     #: Byzantine block server shows up here, never in ``block_misses``
     verify_failures: int = 0
+    #: session read-cache configuration and outcomes, summed across
+    #: sessions (all zero when ``cache_size == 0``); ``reads_per_tick``
+    #: is the read-heavy headline — leases complete reads with no wire
+    #: traffic, so it can exceed the uncached protocol ceiling.
+    cache_size: int = 0
+    lease_ticks: int = 0
+    reads_per_tick: float = 0.0
+    lease_hits: int = 0
+    revalidations: int = 0
+    revalidate_hits: int = 0
+    revalidate_fallbacks: int = 0
     phase_ticks: Dict[str, int] = field(default_factory=dict)
 
     def to_json(self) -> Dict[str, Any]:
@@ -144,6 +162,13 @@ class KvBenchRow:
             "block_fetches": self.block_fetches,
             "block_misses": self.block_misses,
             "verify_failures": self.verify_failures,
+            "cache_size": self.cache_size,
+            "lease_ticks": self.lease_ticks,
+            "reads_per_tick": round(self.reads_per_tick, 6),
+            "lease_hits": self.lease_hits,
+            "revalidations": self.revalidations,
+            "revalidate_hits": self.revalidate_hits,
+            "revalidate_fallbacks": self.revalidate_fallbacks,
             "phase_ticks": {name: self.phase_ticks[name]
                             for name in sorted(self.phase_ticks)},
         }
@@ -242,7 +267,9 @@ def run_kv_case(num_shards: int, n: int = 4, t: int = 1,
                 shard_k: Optional[int] = None,
                 protocol_overrides: Optional[Dict[int, str]] = None,
                 shift_every: int = DEFAULT_SHIFT_EVERY,
-                byzantine: Optional[str] = None
+                byzantine: Optional[str] = None,
+                cache_size: int = 0, lease_ticks: int = 0,
+                invoke_probability: float = 0.25
                 ) -> Tuple[KvBenchRow, KvCluster]:
     """Run one kv-bench case and return ``(row, cluster)``.
 
@@ -266,6 +293,13 @@ def run_kv_case(num_shards: int, n: int = 4, t: int = 1,
     read touching it to escalate past its first ``k`` fetch targets.
     The row's ``plan`` column reads ``byz-<name>`` so the case never
     counts as fault-free.
+
+    ``cache_size``/``lease_ticks`` enable session-cached reads with
+    metadata-only revalidation and local lease serving (see
+    :mod:`repro.kv.session_cache`); both default off, which keeps
+    uncached schedules byte-identical.  ``invoke_probability`` is the
+    drive loop's per-step submission density (how aggressively the
+    closed-loop clients push while the network is busy).
     """
     overrides_by_shard = dict(protocol_overrides or {})
     if shard_k is None and (
@@ -302,7 +336,8 @@ def run_kv_case(num_shards: int, n: int = 4, t: int = 1,
         scheduler=_scheduler_for(plan, seed),
         server_overrides=overrides, max_queue=max_queue,
         max_inflight_per_shard=max_inflight_per_shard,
-        max_attempts=max_attempts)
+        max_attempts=max_attempts, cache_size=cache_size,
+        lease_ticks=lease_ticks)
     if monitor is not None:
         recorder = monitor.attach(cluster.simulator).recorder
     else:
@@ -314,7 +349,8 @@ def run_kv_case(num_shards: int, n: int = 4, t: int = 1,
         write_ratio=write_ratio, distribution=distribution,
         zipf_exponent=zipf_exponent, seed=seed, value_size=value_size,
         shift_every=shift_every)
-    stats = drive(cluster, workload, seed=seed)
+    stats = drive(cluster, workload, seed=seed,
+                  invoke_probability=invoke_probability)
     if monitor is not None:
         monitor.finalize()
     keys_checked = check_kv_histories(cluster.sessions)
@@ -324,6 +360,12 @@ def run_kv_case(num_shards: int, n: int = 4, t: int = 1,
                           for handle in session.handles
                           if handle.kind == KIND_READ and handle.done)
     ticks = cluster.simulator.time
+    cache_stats = {name: 0 for name in
+                   ("lease_hits", "revalidations", "revalidate_hits",
+                    "revalidate_fallbacks")}
+    for session in cluster.sessions:
+        for name in cache_stats:
+            cache_stats[name] += session.cache.stats[name]
     envelopes, inner, wire_bytes = _traffic(recorder)
     block_fetches = sum(1 for record in recorder.messages.values()
                         if record.mtype == MSG_GET_BLOCK)
@@ -359,6 +401,12 @@ def run_kv_case(num_shards: int, n: int = 4, t: int = 1,
         reads_completed=reads_completed,
         block_fetches=block_fetches, block_misses=block_misses,
         verify_failures=verify_failures,
+        cache_size=cache_size, lease_ticks=lease_ticks,
+        reads_per_tick=reads_completed / ticks if ticks else 0.0,
+        lease_hits=cache_stats["lease_hits"],
+        revalidations=cache_stats["revalidations"],
+        revalidate_hits=cache_stats["revalidate_hits"],
+        revalidate_fallbacks=cache_stats["revalidate_fallbacks"],
         phase_ticks=_phase_attribution(recorder))
     return row, cluster
 
@@ -371,7 +419,8 @@ def run_kv_bench(shard_counts: Sequence[int], n: int = 4, t: int = 1,
                  value_size: int = 64,
                  chaos_plan: Optional[str] = "delays",
                  shard_k: Optional[int] = None,
-                 shift_every: int = DEFAULT_SHIFT_EVERY
+                 shift_every: int = DEFAULT_SHIFT_EVERY,
+                 cache_size: int = 0, lease_ticks: int = 0
                  ) -> Dict[str, Any]:
     """Sweep shard counts (plus one chaos case) and build the payload.
 
@@ -386,7 +435,8 @@ def run_kv_bench(shard_counts: Sequence[int], n: int = 4, t: int = 1,
             keys=keys, ops=ops, write_ratio=write_ratio,
             distribution=distribution, zipf_exponent=zipf_exponent,
             seed=seed, value_size=value_size, shard_k=shard_k,
-            shift_every=shift_every)
+            shift_every=shift_every, cache_size=cache_size,
+            lease_ticks=lease_ticks)
         rows.append(row)
     if chaos_plan is not None and shard_counts:
         row, _cluster = run_kv_case(
@@ -395,7 +445,8 @@ def run_kv_bench(shard_counts: Sequence[int], n: int = 4, t: int = 1,
             write_ratio=write_ratio, distribution=distribution,
             zipf_exponent=zipf_exponent, seed=seed,
             value_size=value_size, plan_name=chaos_plan,
-            shard_k=shard_k, shift_every=shift_every)
+            shard_k=shard_k, shift_every=shift_every,
+            cache_size=cache_size, lease_ticks=lease_ticks)
         rows.append(row)
     return {
         "config": {"n": n, "t": t, "protocol": protocol,
@@ -404,7 +455,8 @@ def run_kv_bench(shard_counts: Sequence[int], n: int = 4, t: int = 1,
                    "distribution": distribution,
                    "zipf_exponent": zipf_exponent, "seed": seed,
                    "value_size": value_size, "chaos_plan": chaos_plan,
-                   "shard_k": shard_k, "shift_every": shift_every},
+                   "shard_k": shard_k, "shift_every": shift_every,
+                   "cache_size": cache_size, "lease_ticks": lease_ticks},
         "rows": [row.to_json() for row in rows],
     }
 
@@ -476,6 +528,77 @@ def run_kv_md_comparison(deployments: Sequence[Tuple[int, int]] = (
                    "zipf_exponent": zipf_exponent, "seed": seed,
                    "value_size": value_size,
                    "shift_every": shift_every, "byzantine": byzantine},
+        "rows": rows,
+        "summary": summary,
+    }
+
+
+def run_kv_readheavy_comparison(n: int = 4, t: int = 1,
+                                num_shards: int = 4, sessions: int = 4,
+                                keys: int = 8, ops: int = 576,
+                                write_ratio: float = 0.1,
+                                distribution: str = "zipf",
+                                zipf_exponent: float = 1.5,
+                                seed: int = 0, value_size: int = 64,
+                                cache_size: int = 32,
+                                lease_ticks: int = 128,
+                                invoke_probability: float = 1.0,
+                                chaos_plan: str = "delays"
+                                ) -> Dict[str, Any]:
+    """Cached vs uncached ``atomic_md`` on one read-heavy workload.
+
+    The payload behind ``benchmarks/BENCH_kv_readheavy.json``: the same
+    90/10 Zipf workload runs once uncached and once with session-cached
+    reads and leases; the summary reports the read-throughput ratio
+    (``reads_per_tick`` cached over uncached) — the number the session
+    cache is judged on.  Three adversarial cases re-run the cached
+    configuration under the ``chaos_plan`` builtin and with one
+    Byzantine metadata server per flavour (``stale-meta`` understates
+    at revalidation and is outvoted by the quorum maximum;
+    ``forged-meta`` inflates and only forces the full-read fallback).
+    Every row's per-key histories pass ``check_atomicity`` — the cache
+    trades wire traffic for bookkeeping, never consistency.
+    """
+    common: Dict[str, Any] = {
+        "n": n, "t": t, "protocol": "atomic_md", "sessions": sessions,
+        "keys": keys, "ops": ops, "write_ratio": write_ratio,
+        "distribution": distribution, "zipf_exponent": zipf_exponent,
+        "seed": seed, "value_size": value_size,
+        "invoke_probability": invoke_probability,
+    }
+    cached: Dict[str, Any] = {"cache_size": cache_size,
+                              "lease_ticks": lease_ticks}
+    rows: List[Dict[str, Any]] = []
+    cases = [
+        ("uncached", {}),
+        ("cached", dict(cached)),
+        ("cached+chaos", dict(cached, plan_name=chaos_plan)),
+        ("cached+byz-stale", dict(cached, byzantine="stale-meta")),
+        ("cached+byz-forged", dict(cached, byzantine="forged-meta")),
+    ]
+    by_case: Dict[str, KvBenchRow] = {}
+    for case, extra in cases:
+        row, _cluster = run_kv_case(num_shards, **common, **extra)
+        by_case[case] = row
+        rows.append({"case": case, **row.to_json()})
+    base = by_case["uncached"].reads_per_tick
+    boosted = by_case["cached"].reads_per_tick
+    summary = {
+        "reads_per_tick_uncached": round(base, 6),
+        "reads_per_tick_cached": round(boosted, 6),
+        "read_throughput_ratio": round(boosted / base, 3) if base
+        else 0.0,
+        "all_linearizable": all(row["linearizable"] for row in rows),
+        "lease_hits_cached": by_case["cached"].lease_hits,
+        "revalidations_cached": by_case["cached"].revalidations,
+        "fallbacks_forged": by_case["cached+byz-forged"]
+        .revalidate_fallbacks,
+    }
+    return {
+        "config": {**common, "num_shards": num_shards,
+                   "cache_size": cache_size,
+                   "lease_ticks": lease_ticks,
+                   "chaos_plan": chaos_plan},
         "rows": rows,
         "summary": summary,
     }

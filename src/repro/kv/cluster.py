@@ -94,7 +94,9 @@ def build_kv_cluster(directory: KvDirectory, protocol: str = "atomic",
                          Dict[int, KvServerFactory]] = None,
                      max_queue: int = 32,
                      max_inflight_per_shard: int = 1,
-                     max_attempts: int = 4) -> KvCluster:
+                     max_attempts: int = 4,
+                     cache_size: int = 0,
+                     lease_ticks: int = 0) -> KvCluster:
     """Build a kv deployment over ``directory``'s fleet.
 
     ``server_overrides`` maps 1-based fleet server indices to factories
@@ -102,6 +104,8 @@ def build_kv_cluster(directory: KvDirectory, protocol: str = "atomic",
     protocol comes from :data:`repro.cluster.PROTOCOLS`; shards whose
     :class:`~repro.kv.directory.ShardSpec` carries a ``protocol``
     override materialise that protocol instead of the cluster default.
+    ``cache_size``/``lease_ticks`` configure every session's read cache
+    (see :mod:`repro.kv.session_cache`; both default off).
     """
     if protocol not in PROTOCOLS:
         raise ConfigurationError(
@@ -129,7 +133,8 @@ def build_kv_cluster(directory: KvDirectory, protocol: str = "atomic",
         sessions.append(KvSession(
             client_host, directory, index=index, max_queue=max_queue,
             max_inflight_per_shard=max_inflight_per_shard,
-            max_attempts=max_attempts))
+            max_attempts=max_attempts, cache_size=cache_size,
+            lease_ticks=lease_ticks))
     return KvCluster(directory=directory, simulator=simulator,
                      servers=servers, sessions=sessions, protocol=protocol)
 

@@ -1,4 +1,4 @@
-"""Client sessions: operation queues, coalescing, admission, retry.
+"""Client sessions: operation queues, coalescing, admission, retry, caching.
 
 A :class:`KvSession` is the application-facing handle of the kv plane.
 Operations are *submitted* (queued) instantly and *admitted* (invoked on
@@ -22,10 +22,32 @@ plane's scaling behaviour lives:
   stalled operation under a fresh operation id with the same value.
   Handles complete when *any* attempt completes; the per-key history
   still contains exactly one operation per handle.
+* **Cached reads and leases** — with ``cache_size > 0`` the session
+  keeps a bounded per-key ``(value, TIMESTAMP)`` cache seeded from its
+  completed reads, acked writes, and successful revalidations.  A
+  ``get`` that hits the cache runs a **metadata-only revalidation
+  round** (``invoke_validate`` on protocols with a metadata plane,
+  e.g. ``atomic_md``) instead of a two-phase read, falling back to a
+  full read on protocols without one or when the quorum reports a
+  newer TIMESTAMP.  With ``lease_ticks > 0`` a freshly anchored entry
+  is served *locally* within the window — zero wire traffic — and any
+  write this session submits to the key invalidates it eagerly.  See
+  :mod:`repro.kv.session_cache` for the linearizability argument.
+* **Read sharing** — with the cache enabled, a ``get`` of a key whose
+  read or write is still *queued* (not yet admitted) joins that
+  operation instead of queueing its own: one wire operation settles
+  every joined handle (a read joined to a write returns the written
+  value).  This is sound because the inner operation is invoked at
+  admission, after every joined handle's submission, so each handle's
+  interval contains the inner operation's — the same widening argument
+  session handles already rely on.  A write to the key in between
+  bumps its epoch and ends the read-op sharing window, so joined reads
+  never skip a session-observed write.
 
 Session operation ids embed the session index (``c<i>.o<seq>`` plus
-``.a<k>`` per retry attempt) so server-side per-``oid`` listener state
-never collides across sessions.
+``.a<k>`` per retry attempt and ``.full`` for a revalidation-mismatch
+fallback read) so server-side per-``oid`` listener state never collides
+across sessions.
 """
 
 from __future__ import annotations
@@ -36,9 +58,10 @@ from typing import Deque, Dict, List, Optional
 
 from repro.analysis.linearizability import KIND_READ, KIND_WRITE
 from repro.common.errors import BackpressureError
-from repro.core.register import OperationHandle
+from repro.core.register import KIND_VALIDATE, OperationHandle
 from repro.kv.directory import KvDirectory
 from repro.kv.mux import KvClientHost
+from repro.kv.session_cache import CachedRead, SessionCache
 
 
 @dataclass
@@ -46,10 +69,18 @@ class KvOpHandle:
     """Caller-visible handle for one submitted kv operation.
 
     ``invoke_time``/``complete_time`` bracket the operation's full
-    session lifetime (submission to observed completion), which safely
-    contains the inner protocol operation's own interval — the
-    linearizability checker only ever *widens* real-time constraints
-    this way, never invents them.
+    session lifetime: submission to the *winning inner attempt's*
+    completion tick, which safely contains the inner protocol
+    operation's own interval — the linearizability checker only ever
+    *widens* real-time constraints this way, never invents them.  A
+    lease-served read instead reports its cache anchor's interval (the
+    operation it is an interval clone of; see
+    :mod:`repro.kv.session_cache`).  ``attempts`` counts protocol
+    invocations made so far — live while the operation is pending, not
+    just stamped at completion — and stays ``0`` for lease-served reads,
+    which never touch the wire.  ``served`` records how a read was
+    satisfied: ``"lease"`` (locally), ``"revalidate"`` (metadata-only
+    round confirmed the cache), or ``None`` (full protocol read).
     """
 
     kind: str
@@ -62,6 +93,7 @@ class KvOpHandle:
     result: Optional[bytes] = None
     attempts: int = 0
     coalesced: bool = False
+    served: Optional[str] = None
 
     @property
     def done(self) -> bool:
@@ -71,23 +103,38 @@ class KvOpHandle:
 
 @dataclass
 class _QueuedOp:
-    """One queue slot: an operation awaiting admission."""
+    """One queue slot: an operation awaiting admission.
+
+    ``cached`` snapshots the cache entry a read may revalidate against
+    (``None`` for writes, uncached reads, and after a fallback);
+    ``epoch`` snapshots the key's write epoch at submission so a
+    completion observed after a later write to the same key never
+    re-seeds the cache with a superseded value.
+    """
 
     kind: str
     key: str
     shard: int
     value: Optional[bytes]
     handles: List[KvOpHandle]
+    cached: Optional[CachedRead] = None
+    epoch: int = 0
 
 
 @dataclass
 class _InFlight:
-    """One admitted operation and its (possibly retried) attempts."""
+    """One admitted operation and its (possibly retried) attempts.
+
+    ``attempts_made`` counts every protocol invocation including
+    fallback reads whose superseded validate attempts were dropped from
+    ``attempts`` — the retry budget and handle accounting run on it.
+    """
 
     op: _QueuedOp
     oid: str
     tag: str
     attempts: List[OperationHandle] = field(default_factory=list)
+    attempts_made: int = 1
 
 
 class KvSession:
@@ -97,24 +144,30 @@ class KvSession:
     :meth:`pump` with simulator steps until :attr:`idle`; call
     :meth:`retry_pending` when the network quiesces with operations
     still outstanding.  :func:`repro.kv.cluster.drive` packages the
-    loop.
+    loop.  ``cache_size``/``lease_ticks`` configure session-cached
+    reads (both default off, keeping uncached schedules byte-identical).
     """
 
     def __init__(self, host: KvClientHost, directory: KvDirectory,
                  index: int, max_queue: int = 32,
                  max_inflight_per_shard: int = 1,
-                 max_attempts: int = 4) -> None:
+                 max_attempts: int = 4, cache_size: int = 0,
+                 lease_ticks: int = 0) -> None:
         self.host = host
         self.directory = directory
         self.index = index
         self.max_queue = max_queue
         self.max_inflight_per_shard = max_inflight_per_shard
         self.max_attempts = max_attempts
+        self.cache = SessionCache(cache_size, lease_ticks)
         #: every handle ever issued, in submission order (history source).
         self.handles: List[KvOpHandle] = []
         self._queue: Deque[_QueuedOp] = deque()
         self._inflight: Dict[int, List[_InFlight]] = {}
         self._coalescible: Dict[str, _QueuedOp] = {}
+        #: still-queued read per key that later gets may join (cache on).
+        self._shareable: Dict[str, _QueuedOp] = {}
+        self._key_epoch: Dict[str, int] = {}
         self._seq = 0
 
     # -- submission --------------------------------------------------------
@@ -125,36 +178,89 @@ class KvSession:
         Coalesces into a still-queued write to the same key when one
         exists (never consuming a queue slot); otherwise takes a slot,
         raising :class:`BackpressureError` when the queue is full.
+        Eagerly invalidates any cached read of ``key`` — a session
+        never lease-serves a value it has since overwritten.
         """
         shard = self.directory.shard_of_key(key)
         handle = KvOpHandle(kind=KIND_WRITE, key=key, shard=shard,
                             session=self.index, value=value,
                             invoke_time=self._now())
+        epoch = self._key_epoch.get(key, 0) + 1
+        self._key_epoch[key] = epoch
+        if self.cache.invalidate(key):
+            self._count("invalidate")
         anchor = self._coalescible.get(key)
         if anchor is not None:
-            anchor.handles[-1].coalesced = True
+            # Mark the superseded write (joined reads may trail it).
+            for earlier in reversed(anchor.handles):
+                if earlier.kind == KIND_WRITE:
+                    earlier.coalesced = True
+                    break
             anchor.value = value
+            anchor.epoch = epoch
             anchor.handles.append(handle)
             self.handles.append(handle)
             return handle
         self._admission_check()
         op = _QueuedOp(kind=KIND_WRITE, key=key, shard=shard, value=value,
-                       handles=[handle])
+                       handles=[handle], epoch=epoch)
         self._queue.append(op)
         self._coalescible[key] = op
         self.handles.append(handle)
         return handle
 
     def get(self, key: str) -> KvOpHandle:
-        """Queue a read of ``key`` (ends any coalescing window on it)."""
+        """Queue a read of ``key`` (ends any coalescing window on it).
+
+        A cached key inside an active lease window is served locally —
+        the handle completes immediately with the anchor's value and
+        interval, consuming no queue slot and no wire traffic.  A key
+        whose read is still queued joins that operation (read sharing).
+        Otherwise a cached key queues a metadata-only revalidation and
+        an uncached key queues a full protocol read.
+        """
         shard = self.directory.shard_of_key(key)
+        entry = self.cache.lookup(key)
+        now = self._now()
+        if entry is not None and self.cache.lease_active(entry, now):
+            self._coalescible.pop(key, None)
+            handle = KvOpHandle(kind=KIND_READ, key=key, shard=shard,
+                                session=self.index,
+                                invoke_time=entry.anchor_invoke,
+                                complete_time=entry.anchor_complete,
+                                result=entry.value, served="lease")
+            self.cache.stats["lease_hits"] += 1
+            self._count("lease")
+            self.handles.append(handle)
+            return handle
+        epoch = self._key_epoch.get(key, 0)
+        host_op = self._coalescible.get(key) if self.cache.enabled \
+            else None
+        if host_op is None or host_op.epoch != epoch:
+            host_op = self._shareable.get(key)
+        if host_op is not None and host_op.epoch == epoch:
+            if self._coalescible.get(key) is not host_op:
+                self._coalescible.pop(key, None)
+            handle = KvOpHandle(kind=KIND_READ, key=key, shard=shard,
+                                session=self.index, invoke_time=now,
+                                coalesced=True)
+            host_op.handles.append(handle)
+            self.cache.stats["shared_reads"] += 1
+            self._count("shared")
+            self.handles.append(handle)
+            return handle
         self._admission_check()
         handle = KvOpHandle(kind=KIND_READ, key=key, shard=shard,
-                            session=self.index, invoke_time=self._now())
+                            session=self.index, invoke_time=now)
+        if self.cache.enabled and entry is None:
+            self.cache.stats["misses"] += 1
+            self._count("miss")
         op = _QueuedOp(kind=KIND_READ, key=key, shard=shard, value=None,
-                       handles=[handle])
+                       handles=[handle], cached=entry, epoch=epoch)
         self._queue.append(op)
         self._coalescible.pop(key, None)
+        if self.cache.enabled:
+            self._shareable[key] = op
         self.handles.append(handle)
         return handle
 
@@ -167,13 +273,26 @@ class KvSession:
     def _now(self) -> int:
         return self.host._require_simulator().time
 
+    def _count(self, label: str) -> None:
+        """Mirror one cache decision into the run's obs registry."""
+        simulator = self.host.simulator
+        observer = None if simulator is None else simulator.obs
+        if observer is None:
+            return
+        registry = getattr(observer, "registry", None)
+        if registry is None:
+            recorder = getattr(observer, "recorder", None)
+            registry = None if recorder is None else recorder.registry
+        if registry is not None:
+            registry.counter(f"kv.cache[{label}]").inc()
+
     # -- progress ----------------------------------------------------------
 
     def pump(self) -> int:
         """Complete finished operations, admit queued ones; flush sends.
 
-        Returns the number of state changes (completions + admissions) —
-        the drive loop's progress signal.
+        Returns the number of state changes (completions, fallback
+        reads, admissions) — the drive loop's progress signal.
         """
         changed = self._reap()
         changed += self._admit()
@@ -182,30 +301,116 @@ class KvSession:
         return changed
 
     def _reap(self) -> int:
-        completed = 0
-        now = self._now()
+        changed = 0
         for shard in list(self._inflight):
             remaining = []
             for entry in self._inflight[shard]:
-                winner = None
-                for attempt in entry.attempts:
-                    if attempt.done:
-                        winner = attempt
-                        break
-                if winner is None:
+                done = [attempt for attempt in entry.attempts
+                        if attempt.done]
+                if not done:
                     remaining.append(entry)
                     continue
-                for handle in entry.op.handles:
-                    handle.complete_time = now
-                    handle.attempts = len(entry.attempts)
-                    if handle.kind == KIND_READ:
-                        handle.result = winner.result
-                completed += 1
+                if entry.op.cached is not None:
+                    winner = done[0]
+                    if winner.timestamp != entry.op.cached.timestamp:
+                        # The quorum maximum names a newer write: the
+                        # cached pair is superseded.  Fall back to a
+                        # full read under a fresh oid; the entry stays
+                        # in flight until that read completes.
+                        self._fallback_full_read(entry)
+                        changed += 1
+                        remaining.append(entry)
+                        continue
+                    value = entry.op.cached.value
+                    served = "revalidate"
+                else:
+                    winner = self._pick_winner(entry.op.kind, done)
+                    # Reads joined to a write return the written value.
+                    value = (winner.result if entry.op.kind == KIND_READ
+                             else entry.op.value)
+                    served = None
+                self._complete_entry(entry, winner, value, served)
+                changed += 1
             if remaining:
                 self._inflight[shard] = remaining
             else:
                 del self._inflight[shard]
-        return completed
+        return changed
+
+    @staticmethod
+    def _pick_winner(kind: str,
+                     done: List[OperationHandle]) -> OperationHandle:
+        """The completed attempt that settles the operation.
+
+        For reads, the attempt with the highest TIMESTAMP wins (ties
+        keep the earliest attempt) so the session cache is seeded with
+        the freshest pair when retries race; attempts without a
+        TIMESTAMP never displace one that has it.  Writes take the
+        first completion — every acked attempt wrote the same value.
+        """
+        winner = done[0]
+        if kind != KIND_READ:
+            return winner
+        for attempt in done[1:]:
+            if attempt.timestamp is not None and (
+                    winner.timestamp is None
+                    or winner.timestamp < attempt.timestamp):
+                winner = attempt
+        return winner
+
+    def _complete_entry(self, entry: _InFlight, winner: OperationHandle,
+                        value: Optional[bytes],
+                        served: Optional[str]) -> None:
+        """Stamp every handle from the winning attempt and seed the
+        cache from the completed anchor."""
+        op = entry.op
+        complete_time = winner.complete_time
+        for handle in op.handles:
+            handle.complete_time = complete_time
+            handle.attempts = entry.attempts_made
+            handle.served = served
+            if handle.kind == KIND_READ:
+                handle.result = value
+        if not self.cache.enabled:
+            return
+        # The last handle carries the value that actually hit the wire
+        # (coalescing folds earlier values into it).
+        anchor = op.handles[-1]
+        if served == "revalidate":
+            # Re-anchor the (possibly orphaned) snapshot: if the entry
+            # was invalidated or evicted meanwhile, the mutation is
+            # invisible to future lookups — exactly right.
+            self.cache.renew(op.cached, anchor.invoke_time,
+                             complete_time)
+            self._count("revalidate-hit")
+            return
+        if winner.timestamp is None:
+            return  # protocol exposes no TIMESTAMP: nothing to seed
+        if op.epoch != self._key_epoch.get(op.key, 0):
+            return  # a later write to the key was submitted: superseded
+        seed_value = op.value if op.kind == KIND_WRITE else value
+        self.cache.seed(op.key, seed_value, winner.timestamp,
+                        anchor.invoke_time, complete_time)
+        self._count("seed")
+
+    def _fallback_full_read(self, entry: _InFlight) -> None:
+        """Revalidation mismatch: drop the validate attempts and issue
+        a full read under a fresh oid (the stale cache entry must not
+        be served and is invalidated)."""
+        self.cache.stats["revalidate_fallbacks"] += 1
+        self._count("fallback")
+        if self.cache.lookup(entry.op.key) is entry.op.cached:
+            self.cache.invalidate(entry.op.key)
+            self._count("invalidate")
+        entry.op.cached = None
+        client = self.host.inner_client(entry.op.shard)
+        attempt = client.invoke_read(entry.tag, f"{entry.oid}.full")
+        entry.attempts = [a for a in entry.attempts
+                          if a.kind != KIND_VALIDATE]
+        entry.attempts.append(attempt)
+        entry.attempts_made += 1
+        for handle in entry.op.handles:
+            handle.attempts = entry.attempts_made
 
     def _admit(self) -> int:
         # Generation admission: a new batch is admitted only once the
@@ -222,7 +427,9 @@ class KvSession:
         kept: Deque[_QueuedOp] = deque()
         while self._queue:
             op = self._queue.popleft()
-            if len(self._inflight.get(op.shard, ())) \
+            if op.kind == KIND_READ and self._serve_from_lease(op):
+                admitted += 1
+            elif len(self._inflight.get(op.shard, ())) \
                     < self.max_inflight_per_shard:
                 self._invoke(op)
                 admitted += 1
@@ -231,6 +438,34 @@ class KvSession:
         self._queue = kept
         return admitted
 
+    def _serve_from_lease(self, op: _QueuedOp) -> bool:
+        """Serve a queued read locally when its key regained an active
+        lease while the read waited for admission.
+
+        Typical after a write: reads queued behind the in-flight write
+        are admitted once it completes and seeds the cache, and inherit
+        the ack's anchor interval instead of hitting the wire — the
+        same interval-clone argument as the submission-time lease path
+        (the handle *reports* the anchor's interval, so when the claim
+        is made does not matter).
+        """
+        if not self.cache.enabled:
+            return False
+        entry = self.cache.lookup(op.key)
+        if entry is None or not self.cache.lease_active(entry,
+                                                        self._now()):
+            return False
+        for handle in op.handles:
+            handle.invoke_time = entry.anchor_invoke
+            handle.complete_time = entry.anchor_complete
+            handle.result = entry.value
+            handle.served = "lease"
+            self.cache.stats["lease_hits"] += 1
+            self._count("lease")
+        if self._shareable.get(op.key) is op:
+            del self._shareable[op.key]
+        return True
+
     def _invoke(self, op: _QueuedOp) -> None:
         client = self.host.inner_client(op.shard)
         self._seq += 1
@@ -238,19 +473,31 @@ class KvSession:
         tag = self.directory.register_tag(op.key)
         if op.kind == KIND_WRITE:
             attempt = client.invoke_write(tag, oid, op.value)
+        elif op.cached is not None and hasattr(client, "invoke_validate"):
+            self.cache.stats["revalidations"] += 1
+            self._count("revalidate")
+            attempt = client.invoke_validate(tag, oid)
         else:
+            op.cached = None  # no metadata plane: plain full read
             attempt = client.invoke_read(tag, oid)
         entry = _InFlight(op=op, oid=oid, tag=tag, attempts=[attempt])
+        for handle in op.handles:
+            handle.attempts = entry.attempts_made
         self._inflight.setdefault(op.shard, []).append(entry)
         if self._coalescible.get(op.key) is op:
             del self._coalescible[op.key]  # in flight: window closed
+        if self._shareable.get(op.key) is op:
+            del self._shareable[op.key]  # admitted: joins would race
+            # the inner read's linearization point, so the window ends.
 
     def retry_pending(self) -> int:
         """Re-invoke every stalled operation with remaining attempts.
 
         Called when the network has quiesced with operations pending
-        (e.g. a chaos plan dropped part of a write round).  Returns the
-        number of re-invocations; zero means the retry budget is spent.
+        (e.g. a chaos plan dropped part of a write round).  Cached
+        reads retry their revalidation round; fallback reads retry as
+        reads.  Returns the number of re-invocations; zero means the
+        retry budget is spent.
         """
         retried = 0
         for shard, entries in self._inflight.items():
@@ -258,17 +505,24 @@ class KvSession:
             for entry in entries:
                 if any(attempt.done for attempt in entry.attempts):
                     continue
-                if len(entry.attempts) >= self.max_attempts:
+                if entry.attempts_made >= self.max_attempts:
                     continue
                 if client is None:
                     client = self.host.inner_client(shard)
-                oid = f"{entry.oid}.a{len(entry.attempts)}"
+                oid = f"{entry.oid}.a{entry.attempts_made}"
                 if entry.op.kind == KIND_WRITE:
                     attempt = client.invoke_write(entry.tag, oid,
                                                   entry.op.value)
+                elif entry.op.cached is not None:
+                    self.cache.stats["revalidations"] += 1
+                    self._count("revalidate")
+                    attempt = client.invoke_validate(entry.tag, oid)
                 else:
                     attempt = client.invoke_read(entry.tag, oid)
                 entry.attempts.append(attempt)
+                entry.attempts_made += 1
+                for handle in entry.op.handles:
+                    handle.attempts = entry.attempts_made
                 retried += 1
         if retried:
             self.host.kv_flush()

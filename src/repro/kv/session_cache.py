@@ -1,0 +1,150 @@
+"""Session-side read caching and leases for the kv plane.
+
+A :class:`SessionCache` holds a bounded per-key map of
+``(value, TIMESTAMP)`` pairs seeded from the session's own completed
+operations — full reads, acked writes, and successful revalidations.
+A cached ``get`` replaces the two-phase protocol read with a
+**metadata-only revalidation round** (``md-validate`` on protocols with
+a metadata plane): if the freshest quorum TIMESTAMP equals the cached
+one the cached value is served, otherwise the session falls back to a
+full read.  With ``lease_ticks > 0`` a freshly anchored entry is also
+served *locally* — zero wire traffic — until the lease expires or the
+session writes the key.
+
+Correctness rests on two arguments, both per-key:
+
+* **Revalidation** (quorum intersection): any ``n - t`` revalidation
+  quorum shares ``n - 2t >= t + 1`` servers — at least one honest —
+  with the metadata quorum of every write that completed before the
+  round began, so the quorum maximum is at least every such write's
+  TIMESTAMP.  Equality with the cached TIMESTAMP proves no newer write
+  completed first, and the served read linearizes inside the
+  revalidation round.
+* **Leases** (anchor adjacency): a locally served read reports its
+  *anchor* operation's exact interval and value — the completed read,
+  acked write, or revalidated read that installed the entry.  An
+  interval clone of an operation already in the history can always be
+  linearized immediately after it: every operation that really precedes
+  the clone precedes the anchor, and vice versa.  The lease read is
+  "as if performed at the anchor point"; the window only bounds how
+  long the session keeps re-issuing that claim before revalidating.
+
+Eviction uses the insertion-ordered deterministic LRU discipline of
+:mod:`repro.common.lru` (a hit re-inserts at the back), so two seeded
+runs see identical hit/miss/eviction sequences.  Entries are keyed by
+kv key; capacity ``0`` disables the cache entirely, which is the
+default — uncached deployments stay byte-identical on the wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.common.errors import ConfigurationError
+
+#: counters exported per session (and mirrored into the obs registry as
+#: ``kv.cache[<name>]``), in reporting order.
+STAT_NAMES = ("seeds", "invalidations", "lease_hits", "shared_reads",
+              "misses", "revalidations", "revalidate_hits",
+              "revalidate_fallbacks")
+
+
+@dataclass
+class CachedRead:
+    """One cached pair plus the anchor interval lease reads inherit.
+
+    ``anchor_invoke`` / ``anchor_complete`` are the session-level
+    interval of the operation that installed (or last revalidated) the
+    entry; ``lease_until`` is the first tick the lease no longer
+    covers (``anchor_complete + lease_ticks``).
+    """
+
+    value: bytes
+    timestamp: Any
+    anchor_invoke: int
+    anchor_complete: int
+    lease_until: int = -1
+
+
+class SessionCache:
+    """Bounded deterministic per-key read cache with lease windows.
+
+    ``capacity`` bounds the entry count (``0`` disables caching);
+    ``lease_ticks`` sizes the local-serving window in simulator ticks
+    (``0`` keeps the cache revalidation-only).  ``stats`` counts every
+    cache decision for bench rows and the monitor dashboard.
+    """
+
+    def __init__(self, capacity: int = 0, lease_ticks: int = 0) -> None:
+        if capacity < 0:
+            raise ConfigurationError(
+                f"cache capacity must be >= 0, got {capacity}")
+        if lease_ticks < 0:
+            raise ConfigurationError(
+                f"lease_ticks must be >= 0, got {lease_ticks}")
+        self.capacity = capacity
+        self.lease_ticks = lease_ticks
+        #: insertion order == recency order (a hit re-inserts at the
+        #: back), exactly the :class:`repro.common.lru.LruCache`
+        #: discipline — reimplemented here because invalidation needs
+        #: deletion, which the shared primitive deliberately lacks.
+        self._entries: Dict[str, CachedRead] = {}
+        self.stats: Dict[str, int] = {name: 0 for name in STAT_NAMES}
+
+    @property
+    def enabled(self) -> bool:
+        """True when the cache holds entries at all."""
+        return self.capacity > 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: str) -> Optional[CachedRead]:
+        """The entry for ``key`` (refreshing its recency) or ``None``."""
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self._entries[key] = entry
+        return entry
+
+    def lease_active(self, entry: CachedRead, now: int) -> bool:
+        """True while ``entry`` may be served locally at tick ``now``."""
+        return self.lease_ticks > 0 and now < entry.lease_until
+
+    def seed(self, key: str, value: bytes, timestamp: Any,
+             anchor_invoke: int, anchor_complete: int) -> None:
+        """Install/refresh ``key`` from a completed anchor operation.
+
+        ``timestamp`` must be the anchor's protocol TIMESTAMP; callers
+        skip seeding when the protocol does not expose one.  The lease
+        window opens at the anchor's completion.
+        """
+        if not self.enabled:
+            return
+        self._entries.pop(key, None)
+        self._entries[key] = CachedRead(
+            value=value, timestamp=timestamp,
+            anchor_invoke=anchor_invoke,
+            anchor_complete=anchor_complete,
+            lease_until=anchor_complete + self.lease_ticks)
+        if len(self._entries) > self.capacity:
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+        self.stats["seeds"] += 1
+
+    def renew(self, entry: CachedRead, anchor_invoke: int,
+              anchor_complete: int) -> None:
+        """Re-anchor ``entry`` at a successful revalidation's interval
+        and open a fresh lease window from its completion."""
+        entry.anchor_invoke = anchor_invoke
+        entry.anchor_complete = anchor_complete
+        entry.lease_until = anchor_complete + self.lease_ticks
+        self.stats["revalidate_hits"] += 1
+
+    def invalidate(self, key: str) -> bool:
+        """Drop ``key`` (an observed write supersedes it); returns
+        whether an entry was present."""
+        present = self._entries.pop(key, None) is not None
+        if present:
+            self.stats["invalidations"] += 1
+        return present

@@ -277,8 +277,9 @@ def health_dashboard(monitor) -> str:
 
     Sections: fleet health (suspicion scores with per-signal
     components), SLO burn rates with alert flags, metadata-plane vs
-    data-plane wire traffic, operation latency summary per op type, and
-    a sparkline per time-series.  Output is a pure function of the
+    data-plane wire traffic, session-cache decision counters
+    (``kv.cache[...]``), operation latency summary per op type, and a
+    sparkline per time-series.  Output is a pure function of the
     monitor's state — byte-identical across repeated runs of the same
     seed.
     """
@@ -335,6 +336,18 @@ def health_dashboard(monitor) -> str:
     lines.append(f"  data     {planes['data_messages']:>6} msgs "
                  f"{planes['data_bytes']:>10} B "
                  f"({data_share:.1%} of bytes)")
+    lines.append("")
+    lines.append("== session cache ==")
+    cache_counters = [
+        (name, summary["value"]) for name, summary
+        in sorted(monitor.recorder.registry.snapshot().items())
+        if name.startswith("kv.cache[")]
+    if cache_counters:
+        for name, value in cache_counters:
+            label = name[len("kv.cache["):-1]
+            lines.append(f"  {label:<16} {_fmt(value):>8}")
+    else:
+        lines.append("  (no session-cache activity)")
     lines.append("")
     lines.append("== operations ==")
     lines.append(f"  completed={monitor.ops_completed} "

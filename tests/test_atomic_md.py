@@ -42,8 +42,11 @@ from repro.core.atomic_md import (
     MSG_BLOCK_MISS,
     MSG_GET_BLOCK,
     MSG_STORE,
+    MSG_VALID,
+    MSG_VALIDATE,
     validate_md_config,
 )
+from repro.core.timestamps import Timestamp
 from repro.faults.byzantine_servers import (
     CorruptBlockMdServer,
     MissingBlockMdServer,
@@ -183,6 +186,35 @@ def test_fault_free_read_fetches_exactly_k_blocks():
     counts = cluster.simulator.metrics.messages_by_mtype("reg")
     assert counts.get(MSG_GET_BLOCK, 0) == cluster.config.k
     assert counts.get(MSG_BLOCK, 0) == cluster.config.k
+
+
+# -- metadata-only revalidation -----------------------------------------------
+
+def test_write_handle_exposes_the_adopted_timestamp():
+    """Acked writes surface the TIMESTAMP the servers adopted
+    (``Timestamp(ts + 1, oid)``) so session caches can seed from them."""
+    cluster = _cluster()
+    first = cluster.write(1, "reg", "w1", b"v1")
+    assert first.timestamp == Timestamp(1, "w1")
+    second = cluster.write(1, "reg", "w2", b"v2")
+    assert second.timestamp == Timestamp(2, "w2")
+
+
+def test_validate_round_reports_the_freshest_quorum_timestamp():
+    """``invoke_validate`` completes with the maximum TIMESTAMP over an
+    ``n - t`` quorum — equal to the last write's — and moves metadata
+    only: no block ever travels."""
+    cluster = _cluster()
+    write = cluster.write(1, "reg", "w1", b"payload")
+    probe = cluster.client(2).invoke_validate("reg", "v1")
+    cluster.run()
+    assert probe.done
+    assert probe.timestamp == write.timestamp
+    assert probe.result is None
+    counts = cluster.simulator.metrics.messages_by_mtype("reg")
+    assert counts.get(MSG_VALIDATE, 0) == cluster.config.n
+    assert counts.get(MSG_VALID, 0) >= cluster.config.quorum
+    assert counts.get(MSG_GET_BLOCK, 0) == 0  # metadata plane only
 
 
 # -- Byzantine data plane: escalation -----------------------------------------

@@ -161,6 +161,62 @@ def test_checked_in_kv_md_comparison_meets_acceptance_gates():
     assert all(row["block_fetches"] > 0 for row in fault_free_md)
 
 
+def test_cli_kv_bench_smoke_with_session_cache(tmp_path):
+    """``repro kv-bench --smoke --cache N --lease-ticks T`` must thread
+    the cache configuration end to end: rows stay linearizable and the
+    cache actually fires (lease hits or revalidations observed)."""
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "kv-bench", "--smoke",
+         "--protocol", "atomic_md", "--cache", "16",
+         "--lease-ticks", "8", "--label", "kv_cache_smoke",
+         "--out", str(tmp_path)],
+        capture_output=True, text=True, timeout=600, cwd=REPO_ROOT,
+        env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")})
+    assert result.returncode == 0, result.stderr
+    written = list(tmp_path.glob("BENCH_*kv_cache_smoke*.json"))
+    assert written, (result.stdout, result.stderr)
+    rows = json.loads(written[0].read_text())["data"]["rows"]
+    assert all(row["linearizable"] for row in rows)
+    assert all(row["cache_size"] == 16 for row in rows)
+    activity = sum(row["lease_hits"] + row["revalidations"]
+                   for row in rows)
+    assert activity > 0, rows
+
+
+def test_checked_in_kv_readheavy_meets_acceptance_gates():
+    """The committed read-heavy comparison documents the PR's claim:
+    session caching lifts read throughput by more than 5x on the 90/10
+    Zipf mix over uncached ``atomic_md``, every row linearizes —
+    including the chaos and Byzantine-metadata cases — and the
+    forged-metadata attacker only ever forces full-read fallbacks."""
+    document = json.loads(
+        (REPO_ROOT / "benchmarks" /
+         "BENCH_kv_readheavy.json").read_text())
+    data = document["data"]
+    cases = {row["case"]: row for row in data["rows"]}
+    assert set(cases) == {"uncached", "cached", "cached+chaos",
+                          "cached+byz-stale", "cached+byz-forged"}
+    assert all(row["linearizable"] for row in cases.values())
+    summary = data["summary"]
+    assert summary["all_linearizable"] is True
+    assert summary["read_throughput_ratio"] > 5.0
+    assert summary["lease_hits_cached"] > 0
+    assert cases["cached"]["revalidate_hits"] > 0
+    assert cases["cached+byz-forged"]["revalidate_fallbacks"] > 0
+
+
+def test_cli_kv_bench_check_pins_the_committed_readheavy_document():
+    """CI entry point: ``repro kv-bench --check`` re-validates the
+    committed read-heavy document's acceptance gates."""
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "kv-bench", "--check",
+         str(REPO_ROOT / "benchmarks" / "BENCH_kv_readheavy.json")],
+        capture_output=True, text=True, timeout=600, cwd=REPO_ROOT,
+        env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")})
+    assert result.returncode == 0, (result.stdout, result.stderr)
+    assert "readheavy check ok" in result.stdout
+
+
 def test_checked_in_kv_baseline_shows_shard_scaling():
     """The committed kv baseline documents the PR's scaling claim:
     strictly increasing ops/tick over shards 1, 4, 16."""

@@ -192,6 +192,90 @@ def test_retry_budget_is_bounded():
     cluster.settle()
 
 
+# -- session accounting -------------------------------------------------------
+
+def test_kv_latency_pins_to_the_winning_attempt_not_the_reap_tick():
+    """Regression: handles must report the *winning inner attempt's*
+    completion tick, not the tick of the pump that happened to reap it
+    (which inflated every kv latency by the reap delay)."""
+    directory = KvDirectory(FLEET, 2)
+    cluster = build_kv_cluster(directory, num_sessions=1)
+    session = cluster.session(1)
+    handle = session.put("k001", b"v1")
+    session.pump()
+    inner = session._inflight[handle.shard][0].attempts[0]
+    # Quiesce the network fully before reaping so the reap tick is
+    # strictly later than the inner completion (the quorum fills before
+    # the last delivery) — a pump-tick stamp would be visibly wrong.
+    cluster.simulator.run()
+    assert inner.done and not handle.done
+    assert inner.complete_time < cluster.simulator.time
+    session.pump()
+    assert handle.done
+    assert handle.complete_time == inner.complete_time
+    check_kv_histories([session])
+
+
+def test_pending_handles_report_live_attempt_counts():
+    """Regression: ``attempts`` was only stamped at completion, so a
+    stalled operation reported ``attempts == 0`` — exactly when the
+    count matters for debugging.  It must track invocations live."""
+    directory = KvDirectory(FLEET, 2)
+    cluster = build_kv_cluster(directory, num_sessions=1)
+    session = cluster.session(1)
+    handle = session.put("k001", b"v1")
+    assert handle.attempts == 0  # queued, nothing invoked yet
+    session.pump()
+    assert not handle.done and handle.attempts == 1
+    session.retry_pending()
+    assert not handle.done and handle.attempts == 2
+    cluster.settle()
+    assert handle.done and handle.attempts == 2
+
+
+def test_stalled_operations_report_live_attempts_under_chaos_drops():
+    directory = KvDirectory(FLEET, 2)
+    cluster = build_kv_cluster(directory, num_sessions=1)
+    cluster.simulator.attach_injector(
+        FaultInjector(builtin_plan("drops", 4, 1, seed=2)))
+    session = cluster.session(1)
+    handle = session.put("k001", b"v1")
+    session.pump()
+    cluster.simulator.run()  # quiesce: drops may strand the round
+    assert handle.attempts == 1  # live even while stranded
+    cluster.settle()
+    assert handle.done and handle.attempts >= 1
+    check_kv_histories([session])
+
+
+def test_read_winner_prefers_highest_timestamp_attempt():
+    """Regression: ``_reap`` settled on the *first* completed attempt,
+    so a stale retry racing a fresh one could seed the session cache
+    with a superseded pair.  Reads must take the freshest TIMESTAMP."""
+    from repro.core.register import OperationHandle
+    from repro.core.timestamps import Timestamp
+
+    def attempt(oid, time, value, timestamp):
+        handle = OperationHandle(kind="read", tag="kv.s0.k001", oid=oid,
+                                 client=client_id(1))
+        handle._complete(time, result=value, timestamp=timestamp)
+        return handle
+
+    stale = attempt("c1.o1", 5, b"old", Timestamp(1, "w1"))
+    fresh = attempt("c1.o1.a1", 9, b"new", Timestamp(2, "w2"))
+    assert KvSession._pick_winner("read", [stale, fresh]) is fresh
+    assert KvSession._pick_winner("read", [fresh, stale]) is fresh
+    # Ties keep the earliest completion; a TIMESTAMP-less attempt never
+    # displaces one that carries a TIMESTAMP.
+    twin = attempt("c1.o1.a2", 11, b"new", Timestamp(2, "w2"))
+    assert KvSession._pick_winner("read", [fresh, twin]) is fresh
+    bare = attempt("c1.o1.a3", 3, b"???", None)
+    assert KvSession._pick_winner("read", [stale, bare]) is stale
+    assert KvSession._pick_winner("read", [bare, stale]) is stale
+    # Writes take the first completion — every ack wrote the same value.
+    assert KvSession._pick_winner("write", [stale, fresh]) is stale
+
+
 # -- end-to-end safety --------------------------------------------------------
 
 def test_concurrent_cross_shard_sessions_linearize_per_key():

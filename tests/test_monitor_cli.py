@@ -70,6 +70,25 @@ def test_monitor_kv_bench_smoke(capsys, tmp_path):
     assert payload["data"]["row"]["linearizable"] is True
 
 
+def test_monitor_kv_bench_reports_session_cache_section(capsys, tmp_path):
+    code, out = run_cli(
+        ["monitor", "--source", "kv-bench", "--smoke", "--protocol",
+         "atomic_md", "--cache", "16", "--lease-ticks", "8",
+         "--out", str(tmp_path)], capsys)
+    assert code == 0
+    assert "== session cache ==" in out
+    assert "seed" in out and "lease" in out  # decisions were recorded
+
+
+def test_monitor_kv_bench_uncached_shows_inactive_cache_section(
+        capsys, tmp_path):
+    code, out = run_cli(
+        ["monitor", "--source", "kv-bench", "--smoke", "--shards", "2",
+         "--out", str(tmp_path)], capsys)
+    assert code == 0
+    assert "(no session-cache activity)" in out
+
+
 # -- chaos source --------------------------------------------------------------
 
 def test_monitor_chaos_sweep_smoke(capsys, tmp_path):
