@@ -148,10 +148,28 @@ def _crash_overrides(spec: RunSpec):
     return overrides
 
 
+def _byzantine_overrides(spec: RunSpec):
+    """Server overrides implementing the plan's Byzantine behaviours.
+
+    The registered behaviours are AtomicMd server subclasses, so plans
+    carrying them only run against the ``atomic_md`` protocol.
+    """
+    if not spec.plan.byzantine:
+        return None
+    if spec.protocol != "atomic_md":
+        raise ConfigurationError(
+            f"byzantine behaviours are AtomicMd server subclasses; plan "
+            f"{spec.plan.name!r} cannot run against protocol "
+            f"{spec.protocol!r}")
+    return {entry.server: entry.server_class()
+            for entry in spec.plan.byzantine}
+
+
 def build_chaos_cluster(spec: RunSpec) -> Tuple[Cluster, FaultInjector]:
     """A cluster wired for one chaos run: seeded scheduler (the plan's
     adversarial one when present, random otherwise), fail-stop
-    overrides for planned crashes, fault injector attached."""
+    overrides for planned crashes, Byzantine behaviour overrides,
+    fault injector attached."""
     spec.plan.validate(spec.n, spec.t)
     config = SystemConfig(n=spec.n, t=spec.t, k=spec.resolved_k(),
                           seed=spec.seed)
@@ -159,10 +177,12 @@ def build_chaos_cluster(spec: RunSpec) -> Tuple[Cluster, FaultInjector]:
         scheduler = spec.plan.scheduler.build(spec.seed)
     else:
         scheduler = RandomScheduler(spec.seed)
+    overrides = dict(_crash_overrides(spec) or {})
+    overrides.update(_byzantine_overrides(spec) or {})
     cluster = build_cluster(config, protocol=spec.protocol,
                             num_clients=spec.clients,
                             scheduler=scheduler,
-                            server_overrides=_crash_overrides(spec))
+                            server_overrides=overrides or None)
     injector = FaultInjector(spec.plan)
     cluster.simulator.attach_injector(injector)
     return cluster, injector

@@ -36,7 +36,7 @@ from repro.common.errors import ConfigurationError
 BUILTIN_PLANS: Tuple[str, ...] = (
     "none", "drops", "duplicates", "corruption", "delays",
     "partition", "crash", "crash-recover", "mixed",
-    "slow-server", "sched-partition", "boundary",
+    "slow-server", "sched-partition", "churn", "boundary",
 )
 
 #: The battery a default campaign sweeps: everything except the
@@ -98,6 +98,18 @@ def builtin_plan(name: str, n: int, t: int, seed: int = 0) -> FaultPlan:
             name=name, seed=seed,
             scheduler=SchedulerSpec(name="partition", group=(1,),
                                     heal_after=60))
+    if name == "churn":
+        # Permanent crash plus a replacement deadline: the server dies
+        # for good and the fleet is expected to reconfigure.  Without a
+        # repair plane attached the crash degrades to permanent — still
+        # within budget, so the run must stay atomic and wait-free on
+        # the surviving n - 1 servers; with one (see repro.repair) the
+        # dead member is swapped and re-dispersed mid-run.  The
+        # decisions clock makes the crash and replacement points
+        # compose predictably with delays and partitions.
+        return FaultPlan(name=name, seed=seed, faulty=faulty, crashes=(
+            CrashSpec(server=n, after=30, trigger="decisions",
+                      replace_after=40),))
     if name == "boundary":
         # Fail-stop t+1 servers from delivery zero: only n - t - 1 < n - t
         # honest servers remain, so no quorum can ever form — the n = 3t

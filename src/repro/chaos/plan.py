@@ -225,12 +225,24 @@ class CrashSpec:
     ``"decisions"`` (the injector's global scheduling-decision counter,
     which keeps advancing while delay or partition holds starve the
     server — so crash/recovery windows compose predictably with them).
+
+    A crash with neither ``recover_after`` nor ``replace_after`` is a
+    *permanent* crash: the server stays silent forever and the fleet
+    has permanently spent one unit of resilience budget.
+    ``replace_after`` instead declares that the fleet must *reconfigure*:
+    that many scheduling decisions after the crash point, the repair
+    plane (when one is attached — see :mod:`repro.repair`) swaps in a
+    fresh member at the same identity and re-disperses its blocks.  The
+    two recovery modes are mutually exclusive — a server either comes
+    back with its state (fail-recovery) or is replaced amnesiac
+    (reconfiguration), never both.
     """
 
     server: int
     after: int = 0
     recover_after: Optional[int] = None
     trigger: str = "messages"
+    replace_after: Optional[int] = None
 
     def validate(self) -> None:
         """Raise :class:`ConfigurationError` on malformed crash specs."""
@@ -242,6 +254,14 @@ class CrashSpec:
         if self.recover_after is not None and self.recover_after < 1:
             raise ConfigurationError(
                 "recover_after must be positive when given")
+        if self.replace_after is not None and self.replace_after < 1:
+            raise ConfigurationError(
+                "replace_after must be positive when given")
+        if self.recover_after is not None and self.replace_after is not None:
+            raise ConfigurationError(
+                "recover_after and replace_after are mutually exclusive: "
+                "a server either recovers with its state or is replaced "
+                "amnesiac, never both")
         if self.trigger not in CRASH_TRIGGERS:
             raise ConfigurationError(
                 f"unknown crash trigger {self.trigger!r}; choose from "
@@ -258,6 +278,8 @@ class CrashSpec:
             doc["recover_after"] = self.recover_after
         if self.trigger != "messages":
             doc["trigger"] = self.trigger
+        if self.replace_after is not None:
+            doc["replace_after"] = self.replace_after
         return doc
 
     @classmethod
@@ -265,7 +287,51 @@ class CrashSpec:
         """Inverse of :meth:`to_json`."""
         return cls(server=doc["server"], after=doc["after"],
                    recover_after=doc.get("recover_after"),
-                   trigger=doc.get("trigger", "messages"))
+                   trigger=doc.get("trigger", "messages"),
+                   replace_after=doc.get("replace_after"))
+
+
+@dataclass(frozen=True)
+class ByzantineSpec:
+    """One server running a registered Byzantine behaviour.
+
+    ``behaviour`` names an entry in
+    :data:`repro.faults.byzantine_servers.BYZANTINE_BEHAVIOURS` — an
+    AtomicMd server subclass that deviates from the honest code while
+    holding only its own key material and channels.  Unlike message
+    rules (which mangle traffic in flight), a behaviour replaces the
+    party's *code*, so campaigns can sweep malicious members — corrupt
+    or withheld blocks, stale or forged metadata — alongside crashes.
+    """
+
+    server: int
+    behaviour: str
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on malformed specs."""
+        if self.server < 1:
+            raise ConfigurationError(
+                f"byzantine server must be a 1-based index, "
+                f"got {self.server}")
+        from repro.faults.byzantine_servers import BYZANTINE_BEHAVIOURS
+        if self.behaviour not in BYZANTINE_BEHAVIOURS:
+            raise ConfigurationError(
+                f"unknown byzantine behaviour {self.behaviour!r}; choose "
+                f"from {tuple(sorted(BYZANTINE_BEHAVIOURS))}")
+
+    def server_class(self):
+        """The registered server subclass implementing the behaviour."""
+        from repro.faults.byzantine_servers import BYZANTINE_BEHAVIOURS
+        return BYZANTINE_BEHAVIOURS[self.behaviour]
+
+    def to_json(self) -> Dict[str, Any]:
+        """The spec as a plain JSON-serializable dictionary."""
+        return {"server": self.server, "behaviour": self.behaviour}
+
+    @classmethod
+    def from_json(cls, doc: Dict[str, Any]) -> "ByzantineSpec":
+        """Inverse of :meth:`to_json`."""
+        return cls(server=doc["server"], behaviour=doc["behaviour"])
 
 
 @dataclass(frozen=True)
@@ -286,6 +352,9 @@ class FaultPlan:
     rules: Tuple[FaultRule, ...] = ()
     partition: Optional[PartitionSpec] = None
     crashes: Tuple[CrashSpec, ...] = ()
+    #: Servers running registered Byzantine behaviours (code-level
+    #: deviation, as opposed to the message-level ``rules``).
+    byzantine: Tuple[ByzantineSpec, ...] = ()
     #: Adversarial scheduler composed with the faults (``None`` keeps
     #: the campaign's default seeded random scheduler).
     scheduler: Optional[SchedulerSpec] = None
@@ -310,7 +379,7 @@ class FaultPlan:
         without one.
         """
         return (not self.rules and self.partition is None
-                and not self.crashes)
+                and not self.crashes and not self.byzantine)
 
     def validate(self, n: int, t: int) -> None:
         """Check the plan against a deployment; raise on violations.
@@ -357,6 +426,26 @@ class FaultPlan:
                 raise ConfigurationError(
                     f"crashing server {crash.server} requires designating "
                     f"it faulty (a crash is a fault)")
+        byz_seen: set = set()
+        for spec in self.byzantine:
+            spec.validate()
+            if not 1 <= spec.server <= n:
+                raise ConfigurationError(
+                    f"byzantine server index {spec.server} outside 1..{n}")
+            if spec.server in byz_seen:
+                raise ConfigurationError(
+                    f"server {spec.server} assigned two byzantine "
+                    f"behaviours in one plan")
+            byz_seen.add(spec.server)
+            if spec.server in seen:
+                raise ConfigurationError(
+                    f"server {spec.server} both crashes and runs a "
+                    f"byzantine behaviour — one body of deviant code per "
+                    f"party")
+            if spec.server not in faulty:
+                raise ConfigurationError(
+                    f"byzantine behaviour at server {spec.server} requires "
+                    f"designating it faulty")
         if self.scheduler is not None:
             self.scheduler.validate(n)
 
@@ -371,6 +460,8 @@ class FaultPlan:
         }
         if self.partition is not None:
             doc["partition"] = self.partition.to_json()
+        if self.byzantine:
+            doc["byzantine"] = [spec.to_json() for spec in self.byzantine]
         if self.scheduler is not None:
             doc["scheduler"] = self.scheduler.to_json()
         if self.exceeds_t:
@@ -392,6 +483,8 @@ class FaultPlan:
                        if partition is not None else None),
             crashes=tuple(CrashSpec.from_json(entry)
                           for entry in doc.get("crashes", ())),
+            byzantine=tuple(ByzantineSpec.from_json(entry)
+                            for entry in doc.get("byzantine", ())),
             scheduler=(SchedulerSpec.from_json(scheduler)
                        if scheduler is not None else None),
             exceeds_t=bool(doc.get("exceeds_t", False)),
@@ -412,6 +505,12 @@ class FaultPlan:
     def without_partition(self) -> "FaultPlan":
         """A copy with the partition removed (used by the shrinker)."""
         return replace(self, partition=None)
+
+    def without_byzantine(self, index: int) -> "FaultPlan":
+        """A copy with byzantine entry ``index`` removed (used by the
+        shrinker)."""
+        byzantine = self.byzantine[:index] + self.byzantine[index + 1:]
+        return replace(self, byzantine=byzantine)
 
     def without_scheduler(self) -> "FaultPlan":
         """A copy with the scheduler entry removed (used by the

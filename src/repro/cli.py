@@ -349,12 +349,139 @@ def _check_kv_readheavy(path) -> int:
     return 0
 
 
+def _cmd_kv_churn(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs.bench import emit_bench
+    from repro.repair.bench import run_kv_churn_comparison
+
+    if args.check:
+        return _check_kv_churn(Path(args.check))
+    # The churn comparison is a pinned benchmark (the committed
+    # BENCH_kv_churn.json): the n=7/t=2 deployment and storm timing
+    # come from the tuned function defaults — only the seed passes
+    # through (and --smoke shrinks the workload, not the fleet).
+    overrides = ({"sessions": 2, "keys": 4, "ops": 48,
+                  "first_crash": 20, "stagger": 80, "replace_after": 30}
+                 if args.smoke else {})
+    payload = run_kv_churn_comparison(seed=args.seed, **overrides)
+    print(f"{'case':<16} {'ops/tick':>9} {'done':>5} {'ticks':>6} "
+          f"{'lin':>4} {'alive':>5} {'repl':>5} {'reprs':>6} "
+          f"{'lag':>4} {'live':>5}")
+    for row in payload["rows"]:
+        print(f"{row['case']:<16} {row['ops_per_tick']:>9.4f} "
+              f"{row['completed']:>5} {row['ticks']:>6} "
+              f"{'ok' if row['linearizable'] else 'FAIL':>4} "
+              f"{row['alive_servers']:>5} "
+              f"{row.get('replacements', '-'):>5} "
+              f"{row.get('repairs_completed', '-'):>6} "
+              f"{row.get('repair_lag_final', '-'):>4} "
+              f"{'LOST' if row['liveness_violation'] else 'ok':>5}")
+    summary = payload["summary"]
+    print(f"\nchurn: {summary['throughput_retention']:.1%} of "
+          f"fault-free throughput retained under "
+          f"{summary['replacements']} crash-replace cycles "
+          f"({summary['repairs_completed']} registers re-dispersed, "
+          f"final repair lag {summary['repair_lag_final']}); "
+          f"unrepaired fleet "
+          f"{'lost liveness' if summary['norepair_liveness_violation'] else 'fell below quorum' if summary['norepair_below_quorum'] else 'SURVIVED (unexpected)'}")
+    if args.out:
+        label = args.label if args.label != "kv" else "kv_churn"
+        path = emit_bench(label, payload, directory=Path(args.out))
+        print(f"wrote {path}")
+    return 0
+
+
+def _check_kv_churn(path) -> int:
+    """Validate a committed churn bench payload against the acceptance
+    gates (the CI pin for ``BENCH_kv_churn.json``)."""
+    import json
+
+    document = json.loads(path.read_text(encoding="utf-8"))
+    payload = document.get("data", document)
+    rows = {row["case"]: row for row in payload["rows"]}
+    summary = payload["summary"]
+    failures = []
+    for case in ("faultfree", "churn+repair", "churn-norepair"):
+        if case not in rows:
+            failures.append(f"missing case {case!r}")
+    repaired = rows.get("churn+repair")
+    if repaired is not None:
+        if not repaired["linearizable"]:
+            failures.append("repaired case is not linearizable")
+        if repaired["liveness_violation"]:
+            failures.append("repaired case lost liveness")
+        if repaired["completed"] != repaired["ops"]:
+            failures.append(
+                f"repaired case completed {repaired['completed']} of "
+                f"{repaired['ops']} operations")
+        if repaired["repair_lag_final"] != 0:
+            failures.append(
+                f"repair lag never reached zero "
+                f"({repaired['repair_lag_final']} outstanding)")
+        if not repaired.get("replacements"):
+            failures.append("repaired case replaced no members")
+    retention = summary.get("throughput_retention", 0.0)
+    if retention < 0.9:
+        failures.append(f"throughput retention {retention} < 0.9")
+    if not (summary.get("norepair_liveness_violation")
+            or summary.get("norepair_below_quorum")):
+        failures.append(
+            "unrepaired storm neither lost liveness nor fell below "
+            "quorum — the comparison proves nothing")
+    if failures:
+        print(f"churn check FAILED for {path}:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"churn check ok: {retention:.1%} throughput retained over "
+          f"{summary['replacements']} replacements, unrepaired fleet "
+          f"degraded as expected ({path})")
+    return 0
+
+
+def _cmd_repair(args: argparse.Namespace) -> int:
+    """Operator view of one churn scenario: run the storm with repair
+    attached and render the monitor dashboard's repair plane."""
+    from repro.obs.export import health_dashboard
+    from repro.obs.health import HealthMonitor
+    from repro.repair.bench import churn_storm_plan, run_kv_churn_case
+
+    sessions, keys, ops = ((2, 4, 32) if args.smoke
+                           else (args.sessions, args.keys, args.ops))
+    plan = churn_storm_plan(args.n, args.t, seed=args.seed,
+                            first_crash=args.first_crash,
+                            stagger=args.stagger,
+                            replace_after=args.replace_after)
+    monitor = HealthMonitor(bucket_ticks=args.bucket_ticks)
+    row = run_kv_churn_case(
+        num_shards=args.shards, n=args.n, t=args.t, sessions=sessions,
+        keys=keys, ops=ops, write_ratio=0.5, seed=args.seed,
+        value_size=64, plan=plan, repair=True, case="churn+repair",
+        batch_size=args.batch, monitor=monitor)
+    print(f"deployment n={args.n} t={args.t} shards={args.shards}: "
+          f"{row['replacements']} members replaced, "
+          f"{row['repairs_completed']} registers re-dispersed "
+          f"({row['repairs_failed']} failed, "
+          f"{row['repair_retries']} retries), "
+          f"final repair lag {row['repair_lag_final']}")
+    print(f"workload: {row['completed']}/{ops} ops completed in "
+          f"{row['ticks']} ticks "
+          f"({'linearizable' if row['linearizable'] else 'LINEARIZABILITY FAILURE'}), "
+          f"sessions at epoch {row['session_epochs']}")
+    print()
+    print(health_dashboard(monitor))
+    return 0
+
+
 def _cmd_kv_bench(args: argparse.Namespace) -> int:
     from repro.kv.bench import run_kv_bench
     from repro.obs.bench import emit_bench
 
     if args.md_compare:
         return _cmd_kv_md_compare(args)
+    if args.churn:
+        return _cmd_kv_churn(args)
     if args.readheavy or args.check:
         return _cmd_kv_readheavy(args)
     if args.smoke:
@@ -805,13 +932,23 @@ def build_parser() -> argparse.ArgumentParser:
                                "and Byzantine-metadata cases (the "
                                "BENCH_kv_readheavy.json payload); "
                                "--shards/--protocol/--plan are ignored")
+    kv_bench.add_argument("--churn", action="store_true",
+                          help="crash -> repair -> re-crash storm at "
+                               "n=7/t=2: fault-free vs repaired vs "
+                               "unrepaired fleet (the "
+                               "BENCH_kv_churn.json payload); "
+                               "--shards/--protocol/--plan/--n/--t are "
+                               "ignored")
     kv_bench.add_argument("--check", metavar="FILE", default=None,
-                          help="validate a committed "
-                               "BENCH_kv_readheavy.json against the "
-                               "acceptance gates (>5x read throughput, "
-                               "every case linearizable, forged-meta "
-                               "fallbacks) and exit non-zero on "
-                               "failure")
+                          help="validate a committed bench payload "
+                               "against its acceptance gates and exit "
+                               "non-zero on failure: with --churn a "
+                               "BENCH_kv_churn.json (>=90%% throughput "
+                               "retention, repair lag pinned to zero, "
+                               "unrepaired fleet degraded), otherwise "
+                               "a BENCH_kv_readheavy.json (>5x read "
+                               "throughput, every case linearizable, "
+                               "forged-meta fallbacks)")
     kv_bench.add_argument("--label", default="kv",
                           help="bench name: output file is "
                                "BENCH_<label>.json")
@@ -819,6 +956,34 @@ def build_parser() -> argparse.ArgumentParser:
                           help="directory for the BENCH_<label>.json "
                                "file (default: print only)")
     kv_bench.set_defaults(handler=_cmd_kv_bench)
+
+    repair = commands.add_parser(
+        "repair", help="repair & reconfiguration plane: run a churn "
+                       "storm with background re-dispersal and member "
+                       "replacement, render the repair dashboard")
+    repair.add_argument("--n", type=int, default=7)
+    repair.add_argument("--t", type=int, default=2)
+    repair.add_argument("--shards", type=int, default=2)
+    repair.add_argument("--sessions", type=int, default=4)
+    repair.add_argument("--keys", type=int, default=8)
+    repair.add_argument("--ops", type=int, default=96)
+    repair.add_argument("--seed", type=int, default=0)
+    repair.add_argument("--batch", type=int, default=2,
+                        help="max concurrent background repair rounds "
+                             "(rate limit against live load)")
+    repair.add_argument("--first-crash", type=int, default=40,
+                        help="decision point of the first crash")
+    repair.add_argument("--stagger", type=int, default=120,
+                        help="decisions between successive crashes")
+    repair.add_argument("--replace-after", type=int, default=40,
+                        help="decisions from each crash to its member "
+                             "replacement")
+    repair.add_argument("--bucket-ticks", type=int, default=32,
+                        help="time-series bucket width in logical ticks")
+    repair.add_argument("--smoke", action="store_true",
+                        help="tier-1 smoke: small workload, same "
+                             "n=7/t=2 storm shape")
+    repair.set_defaults(handler=_cmd_repair)
 
     info = commands.add_parser(
         "info", help="print analytic predictions for a deployment")

@@ -86,16 +86,21 @@ MSG_BLOCK_MISS = "md-block-miss"
 MSG_READ_COMPLETE = "md-read-complete"
 MSG_VALIDATE = "md-validate"
 MSG_VALID = "md-valid"
+MSG_REPAIR = "md-repair"
+MSG_REPAIR_ACK = "md-repair-ack"
 
 #: every wire message type of AtomicMd, for observability tooling
 #: (per-mtype instruments, phase classification, plane attribution)
 MESSAGE_TYPES = (MSG_GET_TS, MSG_TS, MSG_STORE, MSG_ACK, MSG_READ,
                  MSG_META, MSG_GET_BLOCK, MSG_BLOCK, MSG_BLOCK_MISS,
-                 MSG_READ_COMPLETE, MSG_VALIDATE, MSG_VALID)
+                 MSG_READ_COMPLETE, MSG_VALIDATE, MSG_VALID,
+                 MSG_REPAIR, MSG_REPAIR_ACK)
 
 #: message types that carry erasure-coded blocks (the data plane); the
 #: remaining AtomicMd traffic is timestamps and cross-checksums only.
-DATA_PLANE_TYPES = (MSG_STORE, MSG_BLOCK)
+#: ``md-repair`` re-disperses a reconstructed block to one server, so
+#: it rides the data plane like the write path's ``md-store``.
+DATA_PLANE_TYPES = (MSG_STORE, MSG_BLOCK, MSG_REPAIR)
 
 #: accepted versions retained per register for late block fetches.
 DEFAULT_HISTORY_LIMIT = 16
@@ -168,6 +173,7 @@ class AtomicMdServer(Process):
         self.on(MSG_GET_BLOCK, self._on_get_block)
         self.on(MSG_READ_COMPLETE, self._on_read_complete)
         self.on(MSG_VALIDATE, self._on_validate)
+        self.on(MSG_REPAIR, self._on_repair)
 
     # -- register state -----------------------------------------------------
 
@@ -281,6 +287,51 @@ class AtomicMdServer(Process):
         _, block, witness = entry
         self.send(message.sender, message.tag, MSG_BLOCK, oid, timestamp,
                   block, witness)
+
+    def _on_repair(self, message: Message) -> None:
+        """Ingest a re-dispersed block from the repair plane.
+
+        A repair client reconstructed the register's value from ``k``
+        blocks that verified against a quorum-agreed cross-checksum,
+        re-encoded it, and is re-storing this server's own block under
+        the version's *original* TIMESTAMP — so repair never advances
+        logical time, it only restores redundancy.  The block must
+        verify against the carried cross-checksum before anything is
+        touched, exactly like ``md-store``; like the write path, the
+        sender is trusted to *name* the version honestly because
+        clients are crash-only in this model (a Byzantine repairer
+        could install a forged commitment — see docs/ROBUSTNESS.md for
+        why repair authority stays with the trusted operator plane).
+
+        The version is retained in the history and adopted if newer
+        than the stored one (a replacement server starts amnesiac at
+        the initial TIMESTAMP, so adoption is the common case);
+        listeners hear metadata only, as with any accepted write.
+        """
+        if len(message.payload) != 5 or message.sender.is_server:
+            return  # repair is client-plane traffic, like md-store
+        oid, timestamp, commitment, block, witness = message.payload
+        if not isinstance(oid, str) or not isinstance(block, bytes) \
+                or not isinstance(timestamp, Timestamp):
+            return
+        if not self.config.commitment_scheme.verify(
+                commitment, self.pid.index, block, witness):
+            self.note_verification_failure(message.tag, MSG_REPAIR,
+                                           message.sender)
+            return
+        state = self.register_state(message.tag)
+        self._remember(state, timestamp, commitment, block, witness)
+        if state.timestamp < timestamp:
+            state.commitment = commitment
+            state.block = block
+            state.witness = witness
+            state.timestamp = timestamp
+            for listener_oid, listener in state.listeners.below(timestamp):
+                self.send(listener, message.tag, MSG_META, listener_oid,
+                          commitment, timestamp)
+        self.send(message.sender, message.tag, MSG_REPAIR_ACK, oid,
+                  timestamp)
+        self.output(message.tag, "repair-accepted", oid, timestamp)
 
     # -- write path: join the verified block with the broadcast metadata ---
 

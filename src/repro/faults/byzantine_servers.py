@@ -217,6 +217,20 @@ class ForgedMetadataMdServer(AtomicMdServer):
         self.send(message.sender, message.tag, MSG_VALID, oid, forged)
 
 
+#: ``FaultPlan``-selectable Byzantine behaviours for the metadata/data
+#: separated protocol (the kv plane's default).  Keys are the names a
+#: :class:`repro.chaos.plan.ByzantineSpec` (and ``kv-bench
+#: --byzantine``) accepts; values are AtomicMd server subclasses that
+#: deviate from the honest code.  Churn campaigns use this registry to
+#: sweep malicious — not just crashed — members.
+BYZANTINE_BEHAVIOURS = {
+    "corrupt-block": CorruptBlockMdServer,
+    "missing-block": MissingBlockMdServer,
+    "stale-meta": StaleMetadataMdServer,
+    "forged-meta": ForgedMetadataMdServer,
+}
+
+
 class AvidSpammerServer(AtomicServer):
     """On top of otherwise-honest behaviour, floods the dispersal substrate
     with invalid echoes and readys for every instance it hears about.

@@ -41,12 +41,7 @@ from repro.cluster import PROTOCOLS
 from repro.common.errors import ConfigurationError
 from repro.config import SystemConfig
 from repro.core.atomic_md import MSG_BLOCK_MISS, MSG_GET_BLOCK
-from repro.faults.byzantine_servers import (
-    CorruptBlockMdServer,
-    ForgedMetadataMdServer,
-    MissingBlockMdServer,
-    StaleMetadataMdServer,
-)
+from repro.faults.byzantine_servers import BYZANTINE_BEHAVIOURS
 from repro.kv.cluster import (
     FailStopKvServer,
     KvCluster,
@@ -74,13 +69,11 @@ _KV_SPAN_PREFIX = "kv.s"
 #: plane, forcing read escalation) or answers cache revalidation with
 #: stale / forged-inflated metadata (metadata plane — stale replies
 #: cannot defeat the quorum maximum, forged ones only force the
-#: session's full-read fallback).
-BYZANTINE_MD_SERVERS = {
-    "corrupt-block": CorruptBlockMdServer,
-    "missing-block": MissingBlockMdServer,
-    "stale-meta": StaleMetadataMdServer,
-    "forged-meta": ForgedMetadataMdServer,
-}
+#: session's full-read fallback).  The canonical registry lives in
+#: :mod:`repro.faults.byzantine_servers`, where chaos
+#: :class:`~repro.chaos.plan.ByzantineSpec` entries resolve the same
+#: names; this alias keeps the historical import path working.
+BYZANTINE_MD_SERVERS = BYZANTINE_BEHAVIOURS
 
 
 @dataclass
@@ -175,7 +168,7 @@ class KvBenchRow:
 
 
 def _chaos_overrides(plan: FaultPlan, server_cls) -> Optional[Dict]:
-    if not plan.crashes:
+    if not plan.crashes and not plan.byzantine:
         return None
     overrides = {}
     for crash in plan.crashes:
@@ -185,6 +178,10 @@ def _chaos_overrides(plan: FaultPlan, server_cls) -> Optional[Dict]:
                 crash_after=_crash.after,
                 recover_after=_crash.recover_after,
                 trigger=_crash.trigger))
+    for entry in plan.byzantine:
+        overrides[entry.server] = (
+            lambda pid, directory, _cls=entry.server_class(): KvServer(
+                pid, directory, server_cls=_cls))
     return overrides
 
 
@@ -353,6 +350,35 @@ def run_kv_case(num_shards: int, n: int = 4, t: int = 1,
                   invoke_probability=invoke_probability)
     if monitor is not None:
         monitor.finalize()
+    case_label = plan_name
+    if byzantine is not None:
+        byz_label = f"byz-{byzantine}"
+        case_label = (byz_label if plan_name is None
+                      else f"{plan_name}+{byz_label}")
+    row = collect_kv_row(recorder, cluster, stats,
+                         num_shards=num_shards, protocol=protocol,
+                         plan_label=case_label, sessions=sessions,
+                         keys=keys, ops=ops, cache_size=cache_size,
+                         lease_ticks=lease_ticks)
+    return row, cluster
+
+
+def collect_kv_row(recorder: TraceRecorder, cluster: KvCluster,
+                   stats: Dict[str, int], *, num_shards: int,
+                   protocol: str, plan_label: Optional[str],
+                   sessions: int, keys: int, ops: int,
+                   cache_size: int = 0, lease_ticks: int = 0
+                   ) -> KvBenchRow:
+    """Measure a driven kv cluster into a :class:`KvBenchRow`.
+
+    Shared by :func:`run_kv_case` and the churn harness
+    (:mod:`repro.repair.bench`), which drives its own cluster — with a
+    repair coordinator attached and liveness failures tolerated — but
+    must report the same columns.  Per-key linearizability of whatever
+    history *did* complete is always checked (it raises on violation),
+    so even a run that lost liveness proves its completed operations
+    atomic.
+    """
     keys_checked = check_kv_histories(cluster.sessions)
     coalesced = sum(1 for session in cluster.sessions
                     for handle in session.handles if handle.coalesced)
@@ -377,13 +403,8 @@ def run_kv_case(num_shards: int, n: int = 4, t: int = 1,
         if name.startswith("verify.failed.by["))
     planes = plane_traffic(recorder)
     read_planes = operation_plane_traffic(recorder)["read"]
-    case_label = plan_name
-    if byzantine is not None:
-        byz_label = f"byz-{byzantine}"
-        case_label = (byz_label if plan_name is None
-                      else f"{plan_name}+{byz_label}")
-    row = KvBenchRow(
-        shards=num_shards, protocol=protocol, plan=case_label,
+    return KvBenchRow(
+        shards=num_shards, protocol=protocol, plan=plan_label,
         sessions=sessions, keys=keys, ops=ops,
         completed=stats["completed"], ticks=ticks,
         ops_per_tick=stats["completed"] / ticks if ticks else 0.0,
@@ -408,7 +429,6 @@ def run_kv_case(num_shards: int, n: int = 4, t: int = 1,
         revalidate_hits=cache_stats["revalidate_hits"],
         revalidate_fallbacks=cache_stats["revalidate_fallbacks"],
         phase_ticks=_phase_attribution(recorder))
-    return row, cluster
 
 
 def run_kv_bench(shard_counts: Sequence[int], n: int = 4, t: int = 1,

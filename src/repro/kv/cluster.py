@@ -64,6 +64,10 @@ class KvCluster:
     servers: List[KvServer]
     sessions: List[KvSession]
     protocol: str = "atomic"
+    #: repair/reconfiguration coordinator (``None`` keeps the plane off
+    #: and the drive loop byte-identical to pre-repair schedules; see
+    #: :func:`repro.repair.attach_repair`).
+    repair: Optional[object] = None
 
     def session(self, index: int) -> KvSession:
         """Session ``index`` (1-based, matching client numbering)."""
@@ -168,12 +172,16 @@ def drive(cluster: KvCluster, operations: Sequence[KvOp], seed: int = 0,
     stats = DriveStats()
     simulator = cluster.simulator
     sessions = cluster.sessions
+    repair = cluster.repair
     while True:
         progress = 0
         for session in sessions:
             progress += session.pump()
+        if repair is not None:
+            progress += repair.pump()
         remaining = len(queue) - cursor
-        if not remaining and all(session.idle for session in sessions):
+        if not remaining and all(session.idle for session in sessions) \
+                and (repair is None or repair.idle):
             break
         stats.steps += 1
         if stats.steps > max_steps:
@@ -195,6 +203,8 @@ def drive(cluster: KvCluster, operations: Sequence[KvOp], seed: int = 0,
             retried = 0
             for session in sessions:
                 retried += session.retry_pending()
+            if repair is not None:
+                retried += repair.retry_pending()
             stats.retries += retried
             if retried:
                 stats.retry_rounds += 1

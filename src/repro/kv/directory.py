@@ -94,16 +94,27 @@ class KvDirectory:
     protocol names so one deployment can run different shards under
     different protocols — unset shards follow the hosting cluster's
     default.
+
+    ``epoch`` stamps the directory *generation*.  Reconfiguration (see
+    :mod:`repro.repair.reconfig`) never mutates a directory in place:
+    replacing a fleet member mints a new directory at ``epoch + 1`` and
+    sessions drain their in-flight operations on the old generation
+    before admitting under the new one.  Epoch ``0`` is the birth
+    generation.
     """
 
     def __init__(self, fleet_config: SystemConfig, num_shards: int,
                  shard_n: Optional[int] = None,
                  shard_t: Optional[int] = None,
                  shard_k: Optional[int] = None,
-                 protocol_overrides: Optional[Dict[int, str]] = None
-                 ) -> None:
+                 protocol_overrides: Optional[Dict[int, str]] = None,
+                 epoch: int = 0) -> None:
         if num_shards < 1:
             raise ConfigurationError("num_shards must be >= 1")
+        if epoch < 0:
+            raise ConfigurationError(
+                f"directory epoch must be >= 0, got {epoch}")
+        self.epoch = epoch
         protocol_overrides = dict(protocol_overrides or {})
         for shard_id in protocol_overrides:
             if not 0 <= shard_id < num_shards:

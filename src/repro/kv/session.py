@@ -169,6 +169,11 @@ class KvSession:
         self._shareable: Dict[str, _QueuedOp] = {}
         self._key_epoch: Dict[str, int] = {}
         self._seq = 0
+        #: directory generation awaiting adoption (reconfiguration
+        #: drain: no admissions until in-flight ops on the old epoch
+        #: complete), and the generation currently admitted under.
+        self._pending_directory: Optional[KvDirectory] = None
+        self.epoch = directory.epoch
 
     # -- submission --------------------------------------------------------
 
@@ -292,13 +297,50 @@ class KvSession:
         """Complete finished operations, admit queued ones; flush sends.
 
         Returns the number of state changes (completions, fallback
-        reads, admissions) — the drive loop's progress signal.
+        reads, admissions, epoch swaps) — the drive loop's progress
+        signal.
         """
         changed = self._reap()
+        changed += self._try_epoch_swap()
         changed += self._admit()
         if changed:
             self.host.kv_flush()
         return changed
+
+    # -- reconfiguration ---------------------------------------------------
+
+    def begin_reconfiguration(self, directory: KvDirectory) -> None:
+        """Announce a new directory generation to this session.
+
+        Admission stops immediately; operations already in flight drain
+        under the old epoch (their quorums formed against the old fleet
+        and stay valid — the replaced member simply never answers).
+        Once the session is quiescent the swap commits: the directory
+        and epoch advance, the read cache flushes, and queued
+        operations admit against the new generation.  See
+        docs/ROBUSTNESS.md for why this drain keeps reads spanning the
+        transition atomic.
+        """
+        if directory.epoch <= self.epoch:
+            return  # stale or duplicate announcement: already there
+        self._pending_directory = directory
+        self._try_epoch_swap()
+
+    def _try_epoch_swap(self) -> int:
+        """Commit a pending generation once in-flight ops have drained."""
+        if self._pending_directory is None or self._inflight:
+            return 0
+        directory = self._pending_directory
+        self._pending_directory = None
+        self.directory = directory
+        self.epoch = directory.epoch
+        # Everything cached was anchored under the old generation; a
+        # queued read's revalidation snapshot would probe the new fleet
+        # against an old-era TIMESTAMP, so drop those too.
+        self.cache.clear()
+        for op in self._queue:
+            op.cached = None
+        return 1
 
     def _reap(self) -> int:
         changed = 0
@@ -421,6 +463,9 @@ class KvSession:
         # concurrency itself, is what converts shard count into
         # throughput.  Admitting into a half-done generation would
         # stagger the convoy and dissolve the batches.
+        if self._pending_directory is not None:
+            return 0  # reconfiguration drain: nothing admits until the
+            # old generation's in-flight operations have completed
         if not self._queue or self._inflight:
             return 0
         admitted = 0

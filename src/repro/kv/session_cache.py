@@ -47,7 +47,7 @@ from repro.common.errors import ConfigurationError
 #: ``kv.cache[<name>]``), in reporting order.
 STAT_NAMES = ("seeds", "invalidations", "lease_hits", "shared_reads",
               "misses", "revalidations", "revalidate_hits",
-              "revalidate_fallbacks")
+              "revalidate_fallbacks", "epoch_flushes")
 
 
 @dataclass
@@ -148,3 +148,21 @@ class SessionCache:
         if present:
             self.stats["invalidations"] += 1
         return present
+
+    def clear(self) -> int:
+        """Drop every entry (a reconfiguration epoch bump).
+
+        Cached pairs and leases were validated against the *old* fleet
+        generation; after a member replacement the revalidation quorum
+        may contain the amnesiac newcomer, which erodes the
+        quorum-intersection margin the cache's safety argument rests on
+        (see docs/ROBUSTNESS.md).  Flushing wholesale restores the
+        invariant that every entry was anchored under the current
+        generation.  Returns the number of entries dropped; counts one
+        ``epoch_flushes`` whenever the cache was enabled.
+        """
+        dropped = len(self._entries)
+        self._entries.clear()
+        if self.enabled:
+            self.stats["epoch_flushes"] += 1
+        return dropped

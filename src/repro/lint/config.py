@@ -36,6 +36,10 @@ PROTOCOL_PREFIXES: Tuple[str, ...] = (
     # The kv plane multiplexes protocol instances over the wire and
     # must keep shard maps, batching, and retries deterministic.
     "repro.kv",
+    # The repair plane re-disperses blocks and swaps fleet members on
+    # live clusters; its scheduling (task order, replacement points)
+    # must replay bit-for-bit like everything else on the hot path.
+    "repro.repair",
 )
 
 #: Extra modules held to the determinism bar beyond the protocol core:
@@ -60,6 +64,9 @@ TAINT_PREFIXES: Tuple[str, ...] = (
     "repro.avid",
     "repro.broadcast",
     "repro.kv",
+    # Repair reconstructs values from server-supplied blocks and writes
+    # them back to protocol state — classic taint territory.
+    "repro.repair",
 )
 
 #: Default scope per rule pack.  An empty tuple means "every module".

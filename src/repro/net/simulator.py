@@ -199,6 +199,27 @@ class Simulator:
         process.bind(self)
         return process
 
+    def replace_process(self, process: Process) -> Process:
+        """Swap the party at ``process.pid`` for ``process``; returns
+        the replaced process.
+
+        The reconfiguration primitive (see :mod:`repro.repair`): fleet
+        member replacement keeps the *identity* — same :class:`PartyId`,
+        same channels — while the machine behind it changes, so the
+        roster, in-flight messages, and every other party's addressing
+        are untouched.  Messages already in flight to the identity are
+        delivered to the replacement (which, being amnesiac, treats
+        them as its fresh state dictates).  The old process is unbound
+        and never scheduled again.
+        """
+        old = self._processes.get(process.pid)
+        if old is None:
+            raise SimulationError(
+                f"cannot replace unknown party {process.pid}")
+        self._processes[process.pid] = process
+        process.bind(self)
+        return old
+
     @property
     def server_pids(self) -> List[PartyId]:
         """All server identities, in index order."""

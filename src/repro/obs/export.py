@@ -278,7 +278,9 @@ def health_dashboard(monitor) -> str:
     Sections: fleet health (suspicion scores with per-signal
     components), SLO burn rates with alert flags, metadata-plane vs
     data-plane wire traffic, session-cache decision counters
-    (``kv.cache[...]``), operation latency summary per op type, and a
+    (``kv.cache[...]``), repair-plane progress (``repair.*`` counters
+    plus the ``repair.lag`` backlog sparkline when a coordinator ran),
+    operation latency summary per op type, and a
     sparkline per time-series.  Output is a pure function of the
     monitor's state — byte-identical across repeated runs of the same
     seed.
@@ -348,6 +350,23 @@ def health_dashboard(monitor) -> str:
             lines.append(f"  {label:<16} {_fmt(value):>8}")
     else:
         lines.append("  (no session-cache activity)")
+    lines.append("")
+    lines.append("== repair ==")
+    repair_counters = [
+        (name, summary["value"]) for name, summary
+        in sorted(monitor.recorder.registry.snapshot().items())
+        if name.startswith("repair.")]
+    lag_series = monitor.store.get("repair.lag")
+    if not repair_counters and lag_series is None:
+        lines.append("  (repair plane not attached)")
+    else:
+        for name, value in repair_counters:
+            label = name[len("repair."):]
+            lines.append(f"  {label:<16} {_fmt(value):>8}")
+        if lag_series is not None and len(lag_series):
+            values = [value for _, value in lag_series.values()]
+            lines.append(f"  {'lag':<16} {_fmt(values[-1]):>8} "
+                         f"{_sparkline(values)}")
     lines.append("")
     lines.append("== operations ==")
     lines.append(f"  completed={monitor.ops_completed} "

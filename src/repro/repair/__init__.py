@@ -1,0 +1,29 @@
+"""Repair and reconfiguration plane for the kv layer.
+
+Background re-dispersal (:mod:`repro.repair.protocol`,
+:mod:`repro.repair.coordinator`), epoch-stamped fleet member
+replacement (:mod:`repro.repair.reconfig`), and the churn benchmark
+harness (:mod:`repro.repair.bench`).  The plane is strictly opt-in:
+a cluster without an attached coordinator drives byte-identical
+schedules to one built before this package existed.
+"""
+
+from repro.repair.coordinator import (
+    RepairCoordinator,
+    RepairStats,
+    RepairTask,
+    attach_repair,
+)
+from repro.repair.protocol import KIND_REPAIR, RepairClient
+from repro.repair.reconfig import next_generation, replace_member
+
+__all__ = [
+    "KIND_REPAIR",
+    "RepairClient",
+    "RepairCoordinator",
+    "RepairStats",
+    "RepairTask",
+    "attach_repair",
+    "next_generation",
+    "replace_member",
+]

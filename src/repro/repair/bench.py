@@ -1,0 +1,211 @@
+"""Churn benchmark: crash → repair → re-crash storms vs an unrepaired fleet.
+
+The payload behind ``benchmarks/BENCH_kv_churn.json``
+(``repro kv-bench --churn``).  One storm plan staggers ``t + 1``
+permanent crashes — one more than the resilience budget — each marked
+``replace_after`` so a repair plane, when attached, swaps the crashed
+member for an amnesiac newcomer and re-disperses its registers before
+the next crash lands.  Three cases run the same seeded workload:
+
+* ``faultfree`` — no plan, the throughput baseline;
+* ``churn+repair`` — the storm with a
+  :class:`~repro.repair.coordinator.RepairCoordinator` attached: the
+  fleet never has more than ``t`` members missing at once, so every
+  operation completes and histories stay linearizable, with repair lag
+  pinned back to zero;
+* ``churn-norepair`` — the same storm with repair off: the third
+  permanent crash leaves ``n - (t + 1) < n - t`` servers alive, below
+  every quorum, and the run loses liveness (caught and reported, with
+  whatever history *did* complete still checked atomic).
+
+The summary's headline is ``throughput_retention``: repaired ops/tick
+over fault-free ops/tick — the fraction of fault-free throughput the
+fleet keeps while absorbing a full churn storm in the background.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.chaos.injector import FaultInjector
+from repro.chaos.plan import CrashSpec, FaultPlan
+from repro.cluster import PROTOCOLS
+from repro.common.errors import LivenessError
+from repro.config import SystemConfig
+from repro.kv.bench import (
+    _chaos_overrides,
+    _scheduler_for,
+    collect_kv_row,
+)
+from repro.kv.cluster import build_kv_cluster, drive
+from repro.kv.directory import KvDirectory
+from repro.obs import TraceRecorder
+from repro.repair.coordinator import attach_repair
+from repro.workloads.kv import kv_workload
+
+
+def churn_storm_plan(n: int, t: int, seed: int = 0,
+                     first_crash: int = 40, stagger: int = 120,
+                     replace_after: int = 40) -> FaultPlan:
+    """A staggered crash storm of ``t + 1`` servers with replacement.
+
+    Servers ``n, n - 1, .., n - t`` permanently crash at decision
+    points ``first_crash + i * stagger``; each carries
+    ``replace_after`` so an attached repair plane swaps it
+    ``replace_after`` decisions after its crash point — well before
+    the next crash lands, keeping no more than one member missing at a
+    time.  Without repair the same plan spends ``t + 1`` resilience
+    units and the fleet drops below quorum, which is exactly the
+    comparison the churn bench draws (``exceeds_t`` declares that
+    deliberately).
+    """
+    servers = tuple(range(n, n - (t + 1), -1))
+    crashes = tuple(
+        CrashSpec(server=server, after=first_crash + rank * stagger,
+                  trigger="decisions", replace_after=replace_after)
+        for rank, server in enumerate(servers))
+    return FaultPlan(name="churn-storm", seed=seed, faulty=servers,
+                     crashes=crashes, exceeds_t=len(servers) > t)
+
+
+def _alive_servers(cluster) -> int:
+    """Fleet members currently able to answer (replacements count;
+    crashed fail-stop hosts do not)."""
+    return sum(1 for host in cluster.servers
+               if not getattr(host, "crashed", False))
+
+
+def run_kv_churn_case(num_shards: int, n: int, t: int, sessions: int,
+                      keys: int, ops: int, write_ratio: float,
+                      seed: int, value_size: int,
+                      plan: Optional[FaultPlan], repair: bool,
+                      case: str, batch_size: int = 2,
+                      monitor=None, max_attempts: int = 6
+                      ) -> Dict[str, Any]:
+    """Run one churn case and return its row (a superset of
+    :class:`~repro.kv.bench.KvBenchRow`'s columns).
+
+    A :class:`~repro.common.errors.LivenessError` from the drive loop
+    is caught and reported as ``liveness_violation`` — for the
+    unrepaired storm that *is* the measurement.  The completed portion
+    of the history is still checked linearizable either way.
+    """
+    fleet = SystemConfig(n=n, t=t, seed=seed)
+    directory = KvDirectory(fleet, num_shards, shard_k=t + 1)
+    overrides = None
+    if plan is not None:
+        plan.validate(n, t)
+        overrides = _chaos_overrides(plan, PROTOCOLS["atomic_md"][0])
+    cluster = build_kv_cluster(
+        directory, protocol="atomic_md", num_sessions=sessions,
+        scheduler=_scheduler_for(plan, seed),
+        server_overrides=overrides, max_attempts=max_attempts)
+    if monitor is not None:
+        recorder = monitor.attach(cluster.simulator).recorder
+    else:
+        recorder = TraceRecorder().attach(cluster.simulator)
+    if plan is not None:
+        cluster.simulator.attach_injector(FaultInjector(plan))
+    coordinator = None
+    if repair:
+        coordinator = attach_repair(cluster, plan=plan,
+                                    batch_size=batch_size,
+                                    monitor=monitor)
+    workload = kv_workload(num_sessions=sessions, num_keys=keys,
+                           ops=ops, write_ratio=write_ratio, seed=seed,
+                           value_size=value_size)
+    liveness_violation = False
+    try:
+        stats = drive(cluster, workload, seed=seed)
+    except LivenessError:
+        liveness_violation = True
+        completed = sum(1 for session in cluster.sessions
+                        for handle in session.handles if handle.done)
+        stats = {"completed": completed, "retries": 0,
+                 "backpressure_hits": 0}
+    if monitor is not None:
+        monitor.finalize()
+    row = collect_kv_row(
+        recorder, cluster, stats, num_shards=num_shards,
+        protocol="atomic_md",
+        plan_label=None if plan is None else plan.name,
+        sessions=sessions, keys=keys, ops=ops)
+    extra: Dict[str, Any] = {
+        "case": case,
+        "liveness_violation": liveness_violation,
+        "alive_servers": _alive_servers(cluster),
+        "quorum": fleet.quorum,
+        "session_epochs": sorted(
+            {session.epoch for session in cluster.sessions}),
+    }
+    if coordinator is not None:
+        extra.update({
+            "replacements": coordinator.stats.replacements,
+            "repairs_completed": coordinator.stats.completed,
+            "repairs_failed": coordinator.stats.failed,
+            "repairs_skipped": coordinator.stats.skipped,
+            "repair_retries": coordinator.stats.retries,
+            "repair_lag_final": coordinator.lag,
+            "repair_lag_series": coordinator.stats.lag_samples,
+        })
+    return {**extra, **row.to_json()}
+
+
+def run_kv_churn_comparison(n: int = 7, t: int = 2,
+                            num_shards: int = 2, sessions: int = 4,
+                            keys: int = 8, ops: int = 160,
+                            write_ratio: float = 0.5, seed: int = 0,
+                            value_size: int = 64,
+                            first_crash: int = 40, stagger: int = 120,
+                            replace_after: int = 40,
+                            batch_size: int = 2) -> Dict[str, Any]:
+    """Fault-free vs churn-with-repair vs churn-without on one workload.
+
+    The storm crashes ``t + 1`` servers, so the unrepaired fleet ends
+    with ``n - t - 1`` members — one short of every quorum — while the
+    repaired fleet is made whole again after each crash.  The summary
+    pins the acceptance claims: repaired throughput retention against
+    the fault-free baseline, repaired repair-lag driven back to zero,
+    and the unrepaired run's liveness violation (or, if it squeaked
+    through, its below-quorum survivor count).
+    """
+    plan = churn_storm_plan(n, t, seed=seed, first_crash=first_crash,
+                            stagger=stagger,
+                            replace_after=replace_after)
+    common = dict(num_shards=num_shards, n=n, t=t, sessions=sessions,
+                  keys=keys, ops=ops, write_ratio=write_ratio,
+                  seed=seed, value_size=value_size)
+    rows: List[Dict[str, Any]] = [
+        run_kv_churn_case(plan=None, repair=False, case="faultfree",
+                          **common),
+        run_kv_churn_case(plan=plan, repair=True, case="churn+repair",
+                          batch_size=batch_size, **common),
+        run_kv_churn_case(plan=plan, repair=False,
+                          case="churn-norepair", **common),
+    ]
+    by_case = {row["case"]: row for row in rows}
+    base = by_case["faultfree"]["ops_per_tick"]
+    repaired = by_case["churn+repair"]
+    norepair = by_case["churn-norepair"]
+    summary = {
+        "ops_per_tick_faultfree": base,
+        "ops_per_tick_repaired": repaired["ops_per_tick"],
+        "throughput_retention": round(
+            repaired["ops_per_tick"] / base, 3) if base else 0.0,
+        "repaired_completed_all": repaired["completed"] == ops,
+        "repaired_linearizable": repaired["linearizable"],
+        "repair_lag_final": repaired["repair_lag_final"],
+        "replacements": repaired["replacements"],
+        "repairs_completed": repaired["repairs_completed"],
+        "norepair_liveness_violation": norepair["liveness_violation"],
+        "norepair_below_quorum":
+            norepair["alive_servers"] < norepair["quorum"],
+    }
+    return {
+        "config": {**common, "first_crash": first_crash,
+                   "stagger": stagger, "replace_after": replace_after,
+                   "batch_size": batch_size,
+                   "plan": plan.to_json()},
+        "rows": rows,
+        "summary": summary,
+    }

@@ -94,6 +94,48 @@ def test_plan_validation_rejects_crash_of_undesignated_server():
         plan.validate(n=4, t=1)
 
 
+def test_crash_replace_after_round_trips_and_excludes_recovery():
+    plan = FaultPlan(name="swap", faulty=(4,), crashes=(
+        CrashSpec(server=4, after=10, trigger="decisions",
+                  replace_after=20),))
+    plan.validate(n=4, t=1)
+    assert FaultPlan.from_json(plan.to_json()) == plan
+    # A server either recovers with its state or is replaced amnesiac,
+    # never both; and the replacement deadline must be positive.
+    with pytest.raises(ConfigurationError):
+        CrashSpec(server=4, after=10, recover_after=5,
+                  replace_after=5).validate()
+    with pytest.raises(ConfigurationError):
+        CrashSpec(server=4, after=10, replace_after=0).validate()
+
+
+def test_churn_builtin_plan_declares_a_replacement_deadline():
+    plan = builtin_plan("churn", 4, 1, seed=3)
+    plan.validate(n=4, t=1)
+    [crash] = plan.crashes
+    assert crash.replace_after is not None
+    assert crash.recover_after is None
+    assert crash.trigger == "decisions"
+    assert not plan.exceeds_t  # within budget even with repair off
+    assert FaultPlan.from_json(plan.to_json()) == plan
+
+
+def test_byzantine_spec_selects_registered_behaviours():
+    from repro.chaos.plan import ByzantineSpec
+    from repro.faults.byzantine_servers import BYZANTINE_BEHAVIOURS
+    for name, server_cls in sorted(BYZANTINE_BEHAVIOURS.items()):
+        spec = ByzantineSpec(server=4, behaviour=name)
+        spec.validate()
+        assert spec.server_class() is server_cls
+        plan = FaultPlan(name="byz", faulty=(4,), byzantine=(spec,))
+        plan.validate(n=4, t=1)
+        assert FaultPlan.from_json(plan.to_json()) == plan
+    with pytest.raises(ConfigurationError):
+        ByzantineSpec(server=4, behaviour="no-such").validate()
+    with pytest.raises(ConfigurationError):
+        ByzantineSpec(server=0, behaviour="corrupt-block").validate()
+
+
 # -- scheduler composition ------------------------------------------------------
 
 def test_scheduler_spec_round_trips_and_builds():
